@@ -1,0 +1,27 @@
+# Convenience targets for the IFECC reproduction.
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/facility_placement.py
+	python examples/anytime_estimation.py
+	python examples/diameter_case_study.py
+	python examples/weighted_travel_times.py
+	python examples/centrality_comparison.py
+
+results:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_benchmark .benchmarks

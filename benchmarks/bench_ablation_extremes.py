@@ -1,0 +1,49 @@
+"""Ablation — radius/diameter-only early termination (extension).
+
+The related work ([33], [2]) computes just the ED's extremes with early
+stopping.  Our :func:`repro.core.extremes.radius_and_diameter` applies
+the same relaxed certificates on top of IFECC's machinery; this bench
+quantifies the saving over computing the full ED, per dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extremes import radius_and_diameter
+from repro.core.ifecc import compute_eccentricities
+
+from bench_common import graph_for, record, small_datasets, truth_for
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", small_datasets())
+def test_extremes_vs_full(benchmark, name):
+    def run():
+        graph = graph_for(name)
+        extremes = radius_and_diameter(graph)
+        full = compute_eccentricities(graph)
+        truth = truth_for(name)
+        assert extremes.radius == int(truth.min())
+        assert extremes.diameter == int(truth.max())
+        return extremes.num_bfs, full.num_bfs
+
+    _rows[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'dataset':<6} {'extremes #BFS':>13} {'full ED #BFS':>13}"]
+    for name, (extremes_bfs, full_bfs) in _rows.items():
+        lines.append(f"{name:<6} {extremes_bfs:>13} {full_bfs:>13}")
+    total_ext = sum(r[0] for r in _rows.values())
+    total_full = sum(r[1] for r in _rows.values())
+    lines.append(f"total: extremes={total_ext}, full={total_full}")
+    record("ablation_extremes", lines)
+
+    # The relaxed certificates must never cost more than the full ED,
+    # and should save work in aggregate.
+    for name, (extremes_bfs, full_bfs) in _rows.items():
+        assert extremes_bfs <= full_bfs + 2, name
+    assert total_ext < total_full

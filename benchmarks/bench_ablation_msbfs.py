@@ -1,0 +1,69 @@
+"""Ablation — MS-BFS (reference [35]) as the "fast naive" baseline.
+
+Even with bit-parallel multi-source BFS (Then et al., VLDB'14) speeding
+the |V|-BFS sweep up by the lane width's constant factor, the naive ED
+stays quadratic — IFECC beats it by orders of magnitude because it runs
+a near-constant number of traversals.  This bench quantifies both gaps.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_eccentricities
+from repro.core.ifecc import compute_eccentricities
+from repro.graph.msbfs import msbfs_eccentricities
+
+from bench_common import graph_for, record, small_datasets, truth_for
+
+GRAPHS = ("DBLP", "GP", "YOUT", "HUDO")
+_rows = {}
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+def test_three_way(benchmark, name):
+    def run():
+        graph = graph_for(name)
+        truth = truth_for(name)
+
+        start = time.perf_counter()
+        sequential = naive_eccentricities(graph)
+        t_naive = time.perf_counter() - start
+        np.testing.assert_array_equal(sequential.eccentricities, truth)
+
+        start = time.perf_counter()
+        bitparallel = msbfs_eccentricities(graph)
+        t_msbfs = time.perf_counter() - start
+        np.testing.assert_array_equal(bitparallel, truth)
+
+        start = time.perf_counter()
+        ifecc = compute_eccentricities(graph)
+        t_ifecc = time.perf_counter() - start
+        np.testing.assert_array_equal(ifecc.eccentricities, truth)
+
+        return t_naive, t_msbfs, t_ifecc
+
+    _rows[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':<6} {'naive':>9} {'MS-BFS':>9} {'IFECC':>9} "
+        f"{'msbfs speedup':>13} {'ifecc speedup':>13}"
+    ]
+    for name, (t_naive, t_msbfs, t_ifecc) in _rows.items():
+        lines.append(
+            f"{name:<6} {t_naive:>8.2f}s {t_msbfs:>8.2f}s {t_ifecc:>8.3f}s "
+            f"{t_naive / t_msbfs:>12.1f}x {t_naive / t_ifecc:>12.1f}x"
+        )
+    record("ablation_msbfs", lines)
+
+    for name, (t_naive, t_msbfs, t_ifecc) in _rows.items():
+        # MS-BFS accelerates the sweep by a healthy constant...
+        assert t_msbfs < t_naive, name
+        # ... but IFECC still wins big (different asymptotics).
+        assert t_ifecc < t_msbfs, name

@@ -1,0 +1,121 @@
+"""Shared infrastructure for the per-table / per-figure benchmarks.
+
+Each ``bench_*.py`` module reproduces one table or figure of the paper's
+evaluation (Section 7).  The conventions:
+
+* heavy computations run once (``benchmark.pedantic(rounds=1)``) — these
+  are experiment harnesses, not micro-benchmarks;
+* every module prints the same rows/series its paper artifact reports and
+  appends them to ``benchmarks/results/<experiment>.txt`` so the outputs
+  survive the pytest run;
+* every module asserts the *shape* of the paper's finding (who wins, by
+  roughly what factor, which curves are monotone) — absolute numbers are
+  not comparable because the substrate is a pure-Python simulator on
+  synthetic stand-ins (see DESIGN.md).
+
+Module-level caches keep each dataset's graph, exact eccentricities, and
+PLL index shared across benchmark modules within one pytest session.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.naive import naive_eccentricities
+from repro.core.ifecc import compute_eccentricities
+from repro.datasets.loader import load_dataset
+from repro.datasets.registry import dataset_names, get_spec
+from repro.errors import BudgetExhaustedError
+from repro.graph.csr import Graph
+from repro.pll.index import PLLIndex, build_pll_index
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-dataset wall-clock cap standing in for the paper's 24-hour cut-off.
+CUTOFF_SECONDS = 90.0
+
+#: BoundECC BFS cap implied by the cut-off (BFS cost ~ ms at our scale).
+BOUNDECC_MAX_BFS = 20_000
+
+_GRAPHS: Dict[str, Graph] = {}
+_TRUTH: Dict[str, np.ndarray] = {}
+_PLL: Dict[str, Optional[PLLIndex]] = {}
+
+
+def graph_for(name: str) -> Graph:
+    """The stand-in graph for a dataset (session cache)."""
+    if name not in _GRAPHS:
+        _GRAPHS[name] = load_dataset(name)
+    return _GRAPHS[name]
+
+
+def truth_for(name: str) -> np.ndarray:
+    """Exact eccentricities of a stand-in (via IFECC, verified once by
+    the naive oracle on the smallest dataset)."""
+    if name not in _TRUTH:
+        graph = graph_for(name)
+        result = compute_eccentricities(graph)
+        _TRUTH[name] = result.eccentricities
+    return _TRUTH[name]
+
+
+def pll_index_for(name: str) -> Optional[PLLIndex]:
+    """A PLL index for a dataset, or None when construction exceeds the
+    cut-off (the paper's DNF case).  Cached across benchmarks."""
+    if name not in _PLL:
+        try:
+            _PLL[name] = build_pll_index(
+                graph_for(name), time_budget=CUTOFF_SECONDS
+            )
+        except BudgetExhaustedError:
+            _PLL[name] = None
+    return _PLL[name]
+
+
+def small_datasets():
+    return dataset_names("small")
+
+
+def large_datasets():
+    return dataset_names("large")
+
+
+_written_this_session = set()
+
+
+def record(experiment: str, lines) -> None:
+    """Print a result block and write it to the results file.
+
+    The first write of a pytest session truncates the file, so
+    ``benchmarks/results/<experiment>.txt`` always holds the latest run.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    text = "\n".join(lines)
+    print(f"\n=== {experiment} ===\n{text}")
+    mode = "a" if experiment in _written_this_session else "w"
+    _written_this_session.add(experiment)
+    with open(RESULTS_DIR / f"{experiment}.txt", mode, encoding="utf-8") as f:
+        f.write(f"# run {stamp}\n{text}\n\n")
+
+
+def fmt_seconds(seconds: Optional[float]) -> str:
+    """Human-readable seconds with a DNF marker for None."""
+    if seconds is None:
+        return "DNF"
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def geometric_mean(values) -> float:
+    values = np.asarray([v for v in values if v is not None], dtype=float)
+    if len(values) == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(values))))

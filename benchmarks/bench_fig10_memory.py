@@ -1,0 +1,81 @@
+"""Figure 10 — memory consumption of IFECC vs PLLECC.
+
+Paper's finding: PLLECC needs on average >36.6x (max 65.4x on DBLP) the
+memory of IFECC on the 12 small graphs, because of the distance index;
+IFECC's footprint is linear in the graph (<40 GB even on the graphs
+PLLECC cannot process at all).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memory import ifecc_footprint, pllecc_footprint
+
+from bench_common import (
+    geometric_mean,
+    graph_for,
+    large_datasets,
+    pll_index_for,
+    record,
+    small_datasets,
+)
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", small_datasets())
+def test_memory_small(benchmark, name):
+    def run():
+        graph = graph_for(name)
+        index = pll_index_for(name)
+        ifecc = ifecc_footprint(graph, num_references=1)
+        pllecc = (
+            pllecc_footprint(graph, index, num_references=16)
+            if index is not None
+            else None
+        )
+        return ifecc, pllecc
+
+    ifecc, pllecc = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows[name] = (ifecc, pllecc)
+
+
+@pytest.mark.parametrize("name", large_datasets())
+def test_memory_large(benchmark, name):
+    # PLLECC cannot build its index within the cut-off on these; only
+    # IFECC's footprint is measurable (the paper reports <40 GB there).
+    ifecc = benchmark.pedantic(
+        lambda: ifecc_footprint(graph_for(name), num_references=1),
+        rounds=1,
+        iterations=1,
+    )
+    _rows[name] = (ifecc, None)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':<6} {'IFECC (KiB)':>12} {'PLLECC (KiB)':>13} {'ratio':>7}"
+    ]
+    ratios = []
+    for name, (ifecc, pllecc) in _rows.items():
+        if pllecc is None:
+            lines.append(
+                f"{name:<6} {ifecc.total_bytes / 1024:>12.1f} "
+                f"{'DNF':>13} {'-':>7}"
+            )
+            continue
+        ratio = pllecc.ratio_to(ifecc)
+        ratios.append(ratio)
+        lines.append(
+            f"{name:<6} {ifecc.total_bytes / 1024:>12.1f} "
+            f"{pllecc.total_bytes / 1024:>13.1f} {ratio:>7.2f}"
+        )
+    lines.append(f"geomean PLLECC/IFECC memory ratio: "
+                 f"{geometric_mean(ratios):.2f}x")
+    record("fig10_memory", lines)
+
+    # Shape: the index makes PLLECC strictly and materially larger.
+    assert all(r > 1.5 for r in ratios)
+    assert geometric_mean(ratios) > 2.0

@@ -1,0 +1,83 @@
+"""Figure 12 — sizes of the farthest sets F1 and F2 on all 20 graphs.
+
+Paper's finding (highest-degree reference): |F1| ~ 0.1 n on average,
+|F2| ~ 3.4e-4 n (average 857.7 nodes); kIFECC run for |F2| BFS computes
+the exact eccentricities of >=99.999% of vertices (19/20 graphs fully
+exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import farthest_set_statistics
+from repro.core.kifecc import approximate_eccentricities
+
+from bench_common import (
+    graph_for,
+    large_datasets,
+    record,
+    small_datasets,
+    truth_for,
+)
+
+_stats = {}
+_f2_accuracy = {}
+
+
+@pytest.mark.parametrize("name", small_datasets() + large_datasets())
+def test_f1_f2_sizes(benchmark, name):
+    stats = benchmark.pedantic(
+        lambda: farthest_set_statistics(graph_for(name)),
+        rounds=1,
+        iterations=1,
+    )
+    _stats[name] = stats
+
+
+@pytest.mark.parametrize("name", small_datasets())
+def test_f2_budget_accuracy(benchmark, name):
+    """Section 7.4's claim: |F2| BFS runs nearly always give the exact ED."""
+
+    def run():
+        stats = _stats.get(name) or farthest_set_statistics(graph_for(name))
+        result = approximate_eccentricities(
+            graph_for(name), k=max(1, stats.f2_size)
+        )
+        return result.accuracy_against(truth_for(name))
+
+    _f2_accuracy[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':<6} {'n':>8} {'|F1|':>7} {'|F2|':>6} "
+        f"{'|F1|/n':>8} {'|F2|/n':>8} {'acc@|F2|':>9}"
+    ]
+    for name, stats in _stats.items():
+        acc = _f2_accuracy.get(name)
+        lines.append(
+            f"{name:<6} {stats.num_vertices:>8} {stats.f1_size:>7} "
+            f"{stats.f2_size:>6} {stats.f1_fraction:>8.4f} "
+            f"{stats.f2_fraction:>8.4f} "
+            f"{'' if acc is None else f'{acc:.3f}%':>9}"
+        )
+    mean_f1 = float(np.mean([s.f1_fraction for s in _stats.values()]))
+    mean_f2 = float(np.mean([s.f2_fraction for s in _stats.values()]))
+    lines.append(
+        f"mean |F1|/n = {mean_f1:.4f}, mean |F2|/n = {mean_f2:.5f}"
+    )
+    record("fig12_f1f2", lines)
+
+    # Shape: F2 is far smaller than F1, which is far smaller than n.
+    assert mean_f1 < 0.35
+    assert mean_f2 < mean_f1 / 2
+    for name, stats in _stats.items():
+        assert stats.f2_size <= stats.f1_size <= stats.num_vertices, name
+    # |F2| BFS give near-exact EDs (paper: 99.999% of vertices).
+    accs = list(_f2_accuracy.values())
+    assert float(np.mean(accs)) >= 99.0
+    exact_count = sum(1 for a in accs if a == 100.0)
+    assert exact_count >= len(accs) // 2  # paper: 19 of 20

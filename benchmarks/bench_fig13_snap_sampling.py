@@ -1,0 +1,70 @@
+"""Figure 13 (Exp-1) — effect of SNAP's sample size on diameter accuracy.
+
+Paper's finding: on HUDO, TPD, FLIC and BAID, SNAP's sampled-diameter
+accuracy averages 77.4% and does NOT improve as the sample grows from
+200 to 1000 (e.g. HUDO: 75% -> 87.5% -> 81.3% -> 75%).
+
+The paper's sample sizes are tuned to 2M-vertex graphs; we scale them to
+the stand-in sizes (same fractions of n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.snap_diameter import snap_estimate_diameter
+
+from bench_common import graph_for, record, truth_for
+
+GRAPHS = ("HUDO", "TPD", "FLIC", "BAID")
+#: paper sizes 200..1000 on n~2e6 -> fractions ~1e-4..5e-4 of n; at our
+#: n~3e3 that is <1 vertex, so we keep the paper's *relative ladder*
+#: (1:2:3:4:5) at a sample the stand-ins can express.
+SAMPLE_LADDER = (4, 8, 12, 16, 20)
+
+_accuracy = {}
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+def test_snap_accuracy(benchmark, name):
+    def run():
+        graph = graph_for(name)
+        true_diameter = int(truth_for(name).max())
+        out = {}
+        for size in SAMPLE_LADDER:
+            estimate = snap_estimate_diameter(
+                graph, sample_size=size, seed=size
+            )
+            out[size] = estimate.accuracy_against(true_diameter)
+        return out
+
+    _accuracy[name] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':<6} " + " ".join(f"k={s:<3}" for s in SAMPLE_LADDER)
+    ]
+    for name in GRAPHS:
+        lines.append(
+            f"{name:<6} "
+            + " ".join(f"{_accuracy[name][s]:>5.1f}" for s in SAMPLE_LADDER)
+        )
+    overall = float(
+        np.mean([a for row in _accuracy.values() for a in row.values()])
+    )
+    lines.append(f"average accuracy: {overall:.1f}%")
+    record("fig13_snap_sampling", lines)
+
+    # Shape: sampling never reaches 100% reliably, and growing the
+    # sample does not monotonically improve accuracy on every graph.
+    assert overall < 100.0
+    non_monotone = sum(
+        1
+        for name in GRAPHS
+        if list(_accuracy[name].values())
+        != sorted(_accuracy[name].values())
+    )
+    assert non_monotone >= 1

@@ -1,0 +1,50 @@
+"""Figure 5 — FFO-front overlap across 16 reference nodes.
+
+Paper's finding: on IT and TWIT, the first ``num`` nodes of the FFOs of
+the 16 highest-degree reference nodes are >94.5% shared on average
+(num = 5..50).  This redundancy motivates using one reference node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import repetition_curve
+
+from bench_common import graph_for, record
+
+NUMS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+_curves = {}
+
+
+@pytest.mark.parametrize("name", ["IT", "TWIT"])
+def test_repetition_curve(benchmark, name):
+    points = benchmark.pedantic(
+        lambda: repetition_curve(graph_for(name), nums=NUMS),
+        rounds=1,
+        iterations=1,
+    )
+    _curves[name] = points
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'num':>4} " + " ".join(f"{n:>8}" for n in _curves)]
+    for i, num in enumerate(NUMS):
+        lines.append(
+            f"{num:>4} "
+            + " ".join(f"{_curves[n][i].ratio:>8.3f}" for n in _curves)
+        )
+    averages = {
+        n: float(np.mean([p.ratio for p in pts]))
+        for n, pts in _curves.items()
+    }
+    lines.append(
+        "average: "
+        + ", ".join(f"{n}={avg:.3f}" for n, avg in averages.items())
+    )
+    record("fig5_repetition", lines)
+    # Paper: >94.5% of high-probe-number nodes shared on average.
+    for name, avg in averages.items():
+        assert avg > 0.90, (name, avg)

@@ -1,0 +1,73 @@
+"""Figure 9 — effect of the reference-node count r on IFECC's runtime.
+
+Paper's finding: relative to r = 1, running time grows ~1.3x, 1.8x,
+2.8x, 4.5x for r = 2, 4, 8, 16 on average; occasionally r = 2 wins by a
+hair (e.g. SKIT), but never by more than ~1.1x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ifecc import compute_eccentricities
+
+from bench_common import (
+    geometric_mean,
+    graph_for,
+    record,
+    small_datasets,
+    truth_for,
+)
+
+RS = (1, 2, 4, 8, 16)
+_times = {}
+
+
+@pytest.mark.parametrize("name", small_datasets())
+@pytest.mark.parametrize("r", RS)
+def test_ifecc_r(benchmark, name, r):
+    def run():
+        graph = graph_for(name)
+        start = time.perf_counter()
+        result = compute_eccentricities(graph, num_references=r)
+        elapsed = time.perf_counter() - start
+        np.testing.assert_array_equal(
+            result.eccentricities, truth_for(name)
+        )
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    _times.setdefault(name, {})[r] = elapsed
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'dataset':<6} " + " ".join(f"r={r:<2}/r=1" for r in RS[1:])
+    ]
+    ratios_by_r = {r: [] for r in RS[1:]}
+    for name in small_datasets():
+        row = _times[name]
+        rel = [row[r] / row[1] for r in RS[1:]]
+        for r, value in zip(RS[1:], rel):
+            ratios_by_r[r].append(value)
+        lines.append(
+            f"{name:<6} " + " ".join(f"{v:>8.2f}" for v in rel)
+        )
+    means = {r: geometric_mean(v) for r, v in ratios_by_r.items()}
+    lines.append(
+        "geomean slowdown vs r=1: "
+        + ", ".join(f"r={r}: {m:.2f}x" for r, m in means.items())
+    )
+    record("fig9_reference_count", lines)
+
+    # Shape: slowdown grows with r, and r=16 costs materially more.
+    assert means[16] > means[2]
+    assert means[16] > 1.5
+    # r=1 is never much worse than any other r (paper: <= ~1.1x).
+    for name in small_datasets():
+        best = min(_times[name].values())
+        assert _times[name][1] <= 2.0 * best, name

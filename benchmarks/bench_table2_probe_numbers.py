@@ -1,0 +1,50 @@
+"""Table 2 — probe numbers on the running example graph.
+
+Reproduces the probe-number table for the 13-node example of Figure 1
+with reference nodes Z = {v13, v7}: probe numbers are non-increasing
+along each FFO (Lemma 4.3) and concentrate at the FFO front, with the
+tail never probed (Example 4.4) — the observation that motivates
+removing the distance index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probes import probe_numbers
+from repro.graph.generators import paper_example_graph
+
+from bench_common import record
+
+_profiles = []
+
+
+def test_probe_numbers(benchmark):
+    graph = paper_example_graph()
+    profiles = benchmark.pedantic(
+        lambda: probe_numbers(graph, [12, 6]),  # v13, v7 (0-based ids)
+        rounds=1,
+        iterations=1,
+    )
+    _profiles.extend(profiles)
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for profile in _profiles:
+        z = profile.ffo.source + 1  # back to the paper's 1-based names
+        order = " ".join(f"v{v + 1:<3}" for v in profile.ffo.order)
+        counts = " ".join(f"{c:<4}" for c in profile.counts)
+        lines.append(f"L^v{z}:  {order}")
+        lines.append(f"PN^v{z}: {counts}")
+    record("table2_probe_numbers", lines)
+
+    for profile in _profiles:
+        # Lemma 4.3: probe numbers are non-increasing along the FFO.
+        assert profile.is_monotone()
+        # Example 4.4: the tail of the order is never probed.
+        half = len(profile.counts) // 2
+        assert profile.counts[half:].sum() == 0
+        # The front is probed by (almost) the whole territory.
+        assert profile.counts[0] >= profile.territory_size - 1

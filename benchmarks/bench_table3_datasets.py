@@ -1,0 +1,60 @@
+"""Table 3 — the dataset inventory.
+
+Prints the paper's statistics for all 20 graphs next to the measured
+statistics (n, m, radius, diameter) of the synthetic stand-ins this
+reproduction substitutes for them, and checks the stand-ins retain the
+structural features the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import get_spec, paper_table3
+
+from bench_common import graph_for, large_datasets, record, small_datasets, truth_for
+
+_rows = []
+
+
+@pytest.mark.parametrize("name", small_datasets() + large_datasets())
+def test_standin_summary(benchmark, name):
+    def run():
+        graph = graph_for(name)
+        truth = truth_for(name)
+        return (
+            graph.num_vertices,
+            graph.num_edges,
+            int(truth.min()),
+            int(truth.max()),
+        )
+
+    n, m, radius, diameter = benchmark.pedantic(run, rounds=1, iterations=1)
+    spec = get_spec(name)
+    _rows.append((spec, n, m, radius, diameter))
+
+
+def test_zz_report_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'Name':<5} {'paper n':>12} {'paper m':>14} {'r':>4} {'d':>4} "
+        f"{'Type':<9}| {'standin n':>9} {'m':>8} {'r':>4} {'d':>4}"
+    ]
+    paper = {row[0]: row for row in paper_table3()}
+    for spec, n, m, radius, diameter in _rows:
+        p = paper[spec.name]
+        lines.append(
+            f"{spec.name:<5} {p[2]:>12,} {p[3]:>14,} {p[4]:>4} {p[5]:>4} "
+            f"{p[6]:<9}| {n:>9,} {m:>8,} {radius:>4} {diameter:>4}"
+        )
+    record("table3_datasets", lines)
+
+    assert len(_rows) == 20
+    for spec, n, m, radius, diameter in _rows:
+        # connected stand-in of the intended scale
+        assert 0.9 * spec.standin_n <= n <= 2.0 * spec.standin_n, spec.name
+        # small-world sanity: diameter well below n, radius <= d <= 2r
+        assert diameter < n / 10, spec.name
+        assert radius <= diameter <= 2 * radius, spec.name
+        # non-degenerate ED (the paper's graphs all have d > r)
+        assert diameter > radius, spec.name

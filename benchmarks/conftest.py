@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make bench_common importable and keep
+pytest-benchmark in single-round mode (these are experiment harnesses)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

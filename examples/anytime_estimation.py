@@ -1,0 +1,74 @@
+"""Anytime eccentricity estimation on a large graph (kIFECC vs kBFS).
+
+IFECC can be interrupted at any point and still return sound bounds —
+Algorithm 3 (kIFECC) formalises this with a BFS budget ``k``.  This
+example streams progress on a large web-graph stand-in and contrasts
+kIFECC's monotone convergence with the instability of uniform-sampling
+kBFS (the Figure 11 comparison, live).
+
+Run with::
+
+    python examples/anytime_estimation.py
+"""
+
+import numpy as np
+
+from repro.baselines.kbfs import kbfs_eccentricities
+from repro.core.ifecc import IFECC
+from repro.core.kifecc import kifecc_sweep
+from repro.datasets.loader import load_dataset
+
+
+def main():
+    graph = load_dataset("UK02")  # the paper's UK02 stand-in
+    print(f"graph UK02 stand-in: n={graph.num_vertices}, m={graph.num_edges}")
+
+    # ------------------------------------------------------------ 1
+    # Stream IFECC's progress: fraction of vertices whose bounds met.
+    print("\nIFECC progress (resolved vertices after each BFS):")
+    engine = IFECC(graph)
+    milestones = {0.5, 0.9, 0.99, 1.0}
+    for snapshot in engine.steps():
+        fraction = snapshot.fraction_resolved
+        hit = {m for m in milestones if fraction >= m}
+        for m in sorted(hit):
+            print(
+                f"  {m:>5.0%} of vertices resolved after "
+                f"{snapshot.bfs_runs} BFS (last source: {snapshot.source})"
+            )
+        milestones -= hit
+    truth = engine.bounds.eccentricities()
+    print(f"  exact ED complete after {engine.counter.bfs_runs} BFS")
+
+    # ------------------------------------------------------------ 2
+    # Accuracy vs budget: kIFECC (one resumable run) vs kBFS
+    # (fresh sample per budget).
+    budgets = [2, 4, 8, 16, 32, 64]
+    sweep = kifecc_sweep(graph, budgets, truth=truth)
+    print(f"\n{'k':>4} {'kIFECC acc':>11} {'kBFS acc':>9}")
+    for entry in sweep:
+        k = entry["k"]
+        kbfs_acc = kbfs_eccentricities(
+            graph, k=k, seed=100 + k
+        ).accuracy_against(truth)
+        print(f"{k:>4} {entry['accuracy']:>10.2f}% {kbfs_acc:>8.2f}%")
+
+    print(
+        "\nkIFECC's estimate only improves with budget (monotone bounds); "
+        "kBFS re-samples and can get worse."
+    )
+
+    # ------------------------------------------------------------ 3
+    # The bounds are usable even when unresolved: report the widest gaps.
+    engine2 = IFECC(graph)
+    budget_result = engine2.run_budgeted(max_bfs=5)
+    gaps = engine2.bounds.gap()
+    unresolved = int(np.count_nonzero(gaps > 0))
+    print(
+        f"\nafter only 5 BFS: {graph.num_vertices - unresolved} vertices "
+        f"exact, {unresolved} still bounded (max gap {int(gaps.max())})"
+    )
+
+
+if __name__ == "__main__":
+    main()

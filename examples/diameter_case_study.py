@@ -1,0 +1,56 @@
+"""Replacing SNAP's sampled diameter with IFECC (paper Section 7.5).
+
+SNAP estimates a graph's diameter by running BFS from ``k`` uniformly
+random vertices and reporting the largest eccentricity seen.  The paper
+shows this estimator is biased low and unstable because the vertices
+realising the diameter are a vanishing fraction of V — and that IFECC
+obtains the *exact* diameter (with the whole ED as a bonus) in a
+comparable number of BFS traversals.
+
+This example replays the case study on the four study graphs' stand-ins.
+
+Run with::
+
+    python examples/diameter_case_study.py
+"""
+
+from repro.analysis.distribution import distribution_from_eccentricities
+from repro.baselines.snap_diameter import snap_estimate_diameter
+from repro.core.ifecc import compute_eccentricities
+from repro.datasets.loader import load_dataset
+
+
+def main():
+    print(
+        f"{'graph':<6} {'true dia':>8} {'IFECC BFS':>9} "
+        f"{'SNAP est':>8} {'SNAP acc':>8} {'dia vertices':>12}"
+    )
+    for name in ("HUDO", "TPD", "FLIC", "BAID"):
+        graph = load_dataset(name)
+
+        # IFECC: exact diameter + full ED.
+        exact = compute_eccentricities(graph)
+
+        # SNAP: same BFS budget, sampled estimate.
+        snap = snap_estimate_diameter(
+            graph, sample_size=exact.num_bfs, seed=11
+        )
+
+        histogram = distribution_from_eccentricities(exact.eccentricities)
+        print(
+            f"{name:<6} {exact.diameter:>8} {exact.num_bfs:>9} "
+            f"{snap.diameter:>8} "
+            f"{snap.accuracy_against(exact.diameter):>7.1f}% "
+            f"{histogram.diameter_vertex_count():>12}"
+        )
+
+    print(
+        "\nAt the SAME number of BFS traversals, IFECC returns the exact\n"
+        "diameter while SNAP's uniform sample usually misses it: only a\n"
+        "handful of vertices attain the diameter, so a random sample\n"
+        "almost never includes one."
+    )
+
+
+if __name__ == "__main__":
+    main()

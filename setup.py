@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package, where
+PEP 517 editable installs (`pip install -e .`) cannot build a wheel.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — scalable computation of graph eccentricities.
+
+A complete reproduction of *On Scalable Computation of Graph
+Eccentricities* (Li, Qiao, Qin, Chang, Zhang, Lin — SIGMOD 2022):
+
+* :func:`compute_eccentricities` — **IFECC**, the paper's index-free
+  exact eccentricity-distribution algorithm (Algorithm 2);
+* :func:`approximate_eccentricities` — **kIFECC**, its anytime
+  adaptation (Algorithm 3);
+* :mod:`repro.baselines` — PLLECC (with a from-scratch pruned-landmark-
+  labeling index), BoundECC, kBFS, the naive |V|-BFS oracle and SNAP's
+  sampling diameter estimator;
+* :mod:`repro.graph` — the CSR graph substrate, vectorised BFS engine,
+  generators and I/O;
+* :mod:`repro.analysis` — accuracy metrics, ED histograms, and the
+  F1/F2 and FFO-overlap statistics of Sections 5 and 7.4;
+* :mod:`repro.datasets` — Table 3's dataset registry with seeded
+  synthetic stand-ins.
+
+Quickstart
+----------
+>>> import repro
+>>> graph = repro.generators.paper_example_graph()
+>>> result = repro.compute_eccentricities(graph)
+>>> result.radius, result.diameter
+(3, 5)
+"""
+
+from repro.core.ifecc import (
+    IFECC,
+    compute_eccentricities,
+    eccentricities_per_component,
+)
+from repro.core.kifecc import approximate_eccentricities, kifecc_sweep
+from repro.core.result import EccentricityResult, ProgressSnapshot
+from repro.core.extremes import radius_and_diameter
+from repro.core.stratify import stratify
+from repro.errors import (
+    DatasetNotFoundError,
+    DisconnectedGraphError,
+    GraphConstructionError,
+    InvalidParameterError,
+    InvalidVertexError,
+    ReproError,
+)
+from repro.graph import generators
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "generators",
+    "IFECC",
+    "compute_eccentricities",
+    "eccentricities_per_component",
+    "approximate_eccentricities",
+    "kifecc_sweep",
+    "stratify",
+    "radius_and_diameter",
+    "EccentricityResult",
+    "ProgressSnapshot",
+    "ReproError",
+    "GraphConstructionError",
+    "DisconnectedGraphError",
+    "InvalidParameterError",
+    "InvalidVertexError",
+    "DatasetNotFoundError",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Analysis utilities: accuracy metrics, ED histograms, F1/F2 and
+FFO-overlap statistics, and memory accounting."""
+
+from repro.analysis.accuracy import AccuracyReport, accuracy, evaluate_estimate
+from repro.analysis.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eccentricity_centrality,
+)
+from repro.analysis.convergence import (
+    ConvergenceCurve,
+    ConvergencePoint,
+    track_convergence,
+)
+from repro.analysis.distribution import (
+    EccentricityDistribution,
+    distribution_from_eccentricities,
+)
+from repro.analysis.comparison import (
+    AlgorithmRow,
+    ComparisonTable,
+    compare_algorithms,
+)
+from repro.analysis.report import GraphReport, analyze
+from repro.analysis.memory import (
+    MemoryFootprint,
+    ifecc_footprint,
+    pllecc_footprint,
+)
+from repro.analysis.stats import (
+    FarthestSetStats,
+    RepetitionPoint,
+    farthest_set_statistics,
+    repetition_curve,
+    repetition_ratio,
+)
+
+__all__ = [
+    "accuracy",
+    "evaluate_estimate",
+    "AccuracyReport",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_centrality",
+    "eccentricity_centrality",
+    "ConvergenceCurve",
+    "ConvergencePoint",
+    "track_convergence",
+    "EccentricityDistribution",
+    "distribution_from_eccentricities",
+    "AlgorithmRow",
+    "ComparisonTable",
+    "compare_algorithms",
+    "GraphReport",
+    "analyze",
+    "MemoryFootprint",
+    "ifecc_footprint",
+    "pllecc_footprint",
+    "FarthestSetStats",
+    "RepetitionPoint",
+    "farthest_set_statistics",
+    "repetition_curve",
+    "repetition_ratio",
+]

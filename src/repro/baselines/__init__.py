@@ -1,0 +1,37 @@
+"""Baseline algorithms the paper compares against.
+
+* :func:`repro.baselines.naive.naive_eccentricities` — |V|-BFS oracle;
+* :func:`repro.baselines.boundecc.boundecc_eccentricities` — Takes &
+  Kosters 2013, the best prior BFS-framework method;
+* :func:`repro.baselines.pllecc.pllecc_eccentricities` — the ICDE'18
+  index-based state of the art (with its PLL substrate in
+  :mod:`repro.pll`);
+* :func:`repro.baselines.kbfs.kbfs_eccentricities` — Shun's KDD'15
+  sampling estimator;
+* :func:`repro.baselines.snap_diameter.snap_estimate_diameter` — SNAP's
+  diameter sampling (case study).
+"""
+
+from repro.baselines.boundecc import boundecc_eccentricities
+from repro.baselines.henderson import opex_eccentricities
+from repro.baselines.kbfs import kbfs_eccentricities
+from repro.baselines.naive import naive_eccentricities
+from repro.baselines.rv_diameter import RVDiameterEstimate, rv_estimate_diameter
+from repro.baselines.pllecc import PLLECCReport, pllecc_eccentricities
+from repro.baselines.snap_diameter import (
+    SnapDiameterEstimate,
+    snap_estimate_diameter,
+)
+
+__all__ = [
+    "naive_eccentricities",
+    "boundecc_eccentricities",
+    "opex_eccentricities",
+    "rv_estimate_diameter",
+    "RVDiameterEstimate",
+    "pllecc_eccentricities",
+    "PLLECCReport",
+    "kbfs_eccentricities",
+    "snap_estimate_diameter",
+    "SnapDiameterEstimate",
+]

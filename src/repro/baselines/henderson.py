@@ -1,0 +1,29 @@
+"""OPEX — Henderson (LLNL technical report, 2011).
+
+The earliest of the bound-based exact ED algorithms the paper surveys
+(Section 6): repeatedly BFS from the unresolved vertex with the largest
+gap between its eccentricity bounds.  It predates (and is dominated by)
+the Takes & Kosters selection rule, but serves as the historical
+baseline of the BFS-framework lineage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.framework import BFSFramework, LargestGapSelector
+from repro.core.result import EccentricityResult
+from repro.graph.csr import Graph
+from repro.graph.traversal import BFSCounter
+
+__all__ = ["opex_eccentricities"]
+
+
+def opex_eccentricities(
+    graph: Graph,
+    max_bfs: Optional[int] = None,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Exact ED with Henderson's largest-gap selection rule."""
+    framework = BFSFramework(graph, LargestGapSelector(), counter=counter)
+    return framework.run(max_bfs=max_bfs, algorithm="OPEX")

@@ -1,0 +1,309 @@
+"""Command-line interface: ``repro-ecc`` / ``python -m repro``.
+
+Subcommands
+-----------
+``ecc``
+    Compute the exact eccentricity distribution of a graph (edge-list
+    file or registered dataset) with IFECC and print the summary.
+``approx``
+    Run kIFECC with a BFS budget ``k`` and report bound statistics.
+``diameter``
+    Exact radius/diameter via IFECC (optionally comparing against the
+    SNAP sampling estimator).
+``stats``
+    Stratification statistics: |F1|, |F2|, layer sizes (Section 5 /
+    Figure 12).
+``table3``
+    Print the paper's Table 3 dataset inventory alongside the synthetic
+    stand-ins this reproduction substitutes for them.
+``compare``
+    Run every exact algorithm on a graph and print a comparison table
+    (a one-graph Figure 8).
+``generate``
+    Generate a synthetic graph (with the dataset stand-ins' structure)
+    and write it to an edge-list file.
+``report``
+    Full analysis report: ED, center/periphery, a diameter path, F1/F2,
+    centrality summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.distribution import distribution_from_eccentricities
+from repro.baselines.snap_diameter import snap_estimate_diameter
+from repro.core.ifecc import compute_eccentricities
+from repro.core.kifecc import approximate_eccentricities
+from repro.core.stratify import stratify
+from repro.datasets.loader import load_dataset
+from repro.datasets.registry import DATASETS, paper_table3
+from repro.errors import ReproError
+from repro.graph.components import largest_connected_component
+from repro.graph.csr import Graph
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(source: str, use_lcc: bool) -> Graph:
+    """Resolve ``source`` to a graph: dataset name first, then file path."""
+    if source in DATASETS:
+        return load_dataset(source)
+    graph = read_edge_list(source)
+    if use_lcc:
+        graph, _ids = largest_connected_component(graph)
+    return graph
+
+
+def _cmd_ecc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.lcc)
+    result = compute_eccentricities(graph, num_references=args.references)
+    dist = distribution_from_eccentricities(result.eccentricities)
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
+    print(
+        f"algorithm={result.algorithm} bfs={result.num_bfs} "
+        f"time={result.elapsed_seconds:.3f}s"
+    )
+    print(f"radius={result.radius} diameter={result.diameter}")
+    print("eccentricity distribution:")
+    print(dist.ascii_plot())
+    if args.output:
+        np.savetxt(args.output, result.eccentricities, fmt="%d")
+        print(f"eccentricities written to {args.output}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.lcc)
+    result = approximate_eccentricities(
+        graph, k=args.k, estimator=args.estimator
+    )
+    resolved = int(np.count_nonzero(result.lower == result.upper))
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
+    print(
+        f"algorithm={result.algorithm} bfs={result.num_bfs} "
+        f"time={result.elapsed_seconds:.3f}s"
+    )
+    print(
+        f"resolved={resolved}/{graph.num_vertices} "
+        f"({100.0 * resolved / graph.num_vertices:.2f}%) "
+        f"exact={result.exact}"
+    )
+    if args.output:
+        np.savetxt(args.output, result.eccentricities, fmt="%d")
+        print(f"estimates written to {args.output}")
+    return 0
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.lcc)
+    result = compute_eccentricities(graph)
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
+    print(
+        f"radius={result.radius} diameter={result.diameter} "
+        f"(IFECC, {result.num_bfs} BFS)"
+    )
+    if args.snap_sample:
+        estimate = snap_estimate_diameter(
+            graph, sample_size=args.snap_sample, seed=args.seed
+        )
+        print(
+            f"SNAP sampling estimate (k={estimate.sample_size}): "
+            f"{estimate.diameter} "
+            f"(accuracy {estimate.accuracy_against(result.diameter):.1f}%)"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.lcc)
+    strat = stratify(graph)
+    sizes = strat.sizes()
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
+    print(
+        f"reference z={strat.reference} (highest degree), "
+        f"ecc(z)={strat.eccentricity}"
+    )
+    print(
+        f"|F1|={sizes['F1']} ({sizes['F1'] / sizes['n']:.4%} of n)   "
+        f"|F2|={sizes['F2']} ({sizes['F2'] / sizes['n']:.4%} of n)"
+    )
+    print("layers:")
+    for i, size in enumerate(strat.layer_sizes()):
+        print(f"  S_{i}: {size}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_algorithms
+
+    graph = _load_graph(args.graph, args.lcc)
+    table = compare_algorithms(
+        graph,
+        pllecc_budget=args.budget,
+        boundecc_max_bfs=args.max_bfs,
+        include_naive=args.naive,
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.loader import build_standin
+    from repro.datasets.registry import get_spec
+    from repro.graph.io import write_edge_list
+
+    spec = get_spec(args.dataset)
+    graph = build_standin(spec)
+    header = (
+        f"synthetic stand-in for {spec.full_name} ({spec.kind}), "
+        f"seed={spec.seed}\n"
+        f"n={graph.num_vertices} m={graph.num_edges}"
+    )
+    write_edge_list(graph, args.output, header=header)
+    print(
+        f"wrote {args.dataset} stand-in "
+        f"(n={graph.num_vertices}, m={graph.num_edges}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import analyze
+
+    graph = _load_graph(args.graph, args.lcc)
+    report = analyze(graph, with_closeness=args.closeness)
+    print(report.render())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    print(
+        f"{'Name':<6} {'Dataset':<14} {'n':>12} {'m':>14} "
+        f"{'r':>4} {'d':>4}  {'Type':<9} {'Stand-in'}"
+    )
+    for name, full, n, m, r, d, kind in paper_table3():
+        spec = DATASETS[name]
+        standin = f"{spec.family}(n~{spec.standin_n}, seed={spec.seed})"
+        print(
+            f"{name:<6} {full:<14} {n:>12,} {m:>14,} "
+            f"{r:>4} {d:>4}  {kind:<9} {standin}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ecc",
+        description=(
+            "Scalable exact and anytime graph-eccentricity computation "
+            "(IFECC, SIGMOD 2022 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "graph",
+            help="dataset name (see `table3`) or edge-list file path",
+        )
+        p.add_argument(
+            "--no-lcc",
+            dest="lcc",
+            action="store_false",
+            help="do not restrict file inputs to the largest component",
+        )
+
+    p_ecc = sub.add_parser("ecc", help="exact eccentricity distribution")
+    add_graph_arg(p_ecc)
+    p_ecc.add_argument(
+        "-r", "--references", type=int, default=1,
+        help="number of reference nodes (paper default: 1)",
+    )
+    p_ecc.add_argument("-o", "--output", help="write eccentricities to file")
+    p_ecc.set_defaults(func=_cmd_ecc)
+
+    p_approx = sub.add_parser("approx", help="anytime kIFECC estimate")
+    add_graph_arg(p_approx)
+    p_approx.add_argument(
+        "-k", type=int, default=16, help="BFS sample budget (default 16)"
+    )
+    p_approx.add_argument(
+        "--estimator", choices=("lower", "upper", "midpoint"),
+        default="lower",
+        help="estimate for unresolved vertices (default: lower, as in "
+        "Algorithm 3)",
+    )
+    p_approx.add_argument("-o", "--output", help="write estimates to file")
+    p_approx.set_defaults(func=_cmd_approx)
+
+    p_dia = sub.add_parser("diameter", help="exact radius and diameter")
+    add_graph_arg(p_dia)
+    p_dia.add_argument(
+        "--snap-sample", type=int, default=0,
+        help="also run SNAP's sampling estimator with this sample size",
+    )
+    p_dia.add_argument("--seed", type=int, default=0)
+    p_dia.set_defaults(func=_cmd_diameter)
+
+    p_stats = sub.add_parser("stats", help="F1/F2 stratification statistics")
+    add_graph_arg(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_table = sub.add_parser("table3", help="print the dataset inventory")
+    p_table.set_defaults(func=_cmd_table3)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run all exact algorithms and compare"
+    )
+    add_graph_arg(p_cmp)
+    p_cmp.add_argument(
+        "--budget", type=float, default=60.0,
+        help="PLLECC index-construction budget in seconds (default 60)",
+    )
+    p_cmp.add_argument(
+        "--max-bfs", type=int, default=20000,
+        help="BoundECC BFS cap standing in for the cut-off",
+    )
+    p_cmp.add_argument(
+        "--naive", action="store_true",
+        help="also run the |V|-BFS baseline (slow)",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_gen = sub.add_parser(
+        "generate", help="write a dataset stand-in as an edge list"
+    )
+    p_gen.add_argument("dataset", help="dataset name (see `table3`)")
+    p_gen.add_argument("output", help="output edge-list path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_rep = sub.add_parser("report", help="full graph analysis report")
+    add_graph_arg(p_rep)
+    p_rep.add_argument(
+        "--closeness", action="store_true",
+        help="also compute closeness centrality (quadratic)",
+    )
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: IFECC, kIFECC, and their machinery.
+
+High-level entry points:
+
+* :func:`repro.core.ifecc.compute_eccentricities` — exact ED via IFECC;
+* :func:`repro.core.kifecc.approximate_eccentricities` — anytime kIFECC;
+* :func:`repro.core.stratify.stratify` — the F1/F2 theory of Section 5.
+"""
+
+from repro.core.bounds import INFINITE_ECC, BoundState
+from repro.core.extremes import ExtremesResult, radius_and_diameter
+from repro.core.ffo import FarthestFirstOrder, compute_ffo, farthest_first_order
+from repro.core.framework import (
+    AlternatingBoundSelector,
+    BFSFramework,
+    DegreeSelector,
+    FFOSelector,
+    LargestGapSelector,
+    RandomSelector,
+)
+from repro.core.ifecc import (
+    IFECC,
+    compute_eccentricities,
+    eccentricities_per_component,
+)
+from repro.core.kifecc import approximate_eccentricities, kifecc_sweep
+from repro.core.probes import ProbeProfile, probe_numbers
+from repro.core.result import EccentricityResult, ProgressSnapshot
+from repro.core.stratify import (
+    Stratification,
+    approximate_via_f2,
+    exact_via_f1,
+    stratify,
+)
+
+__all__ = [
+    "INFINITE_ECC",
+    "BoundState",
+    "ExtremesResult",
+    "radius_and_diameter",
+    "FarthestFirstOrder",
+    "compute_ffo",
+    "farthest_first_order",
+    "BFSFramework",
+    "AlternatingBoundSelector",
+    "DegreeSelector",
+    "FFOSelector",
+    "LargestGapSelector",
+    "RandomSelector",
+    "IFECC",
+    "compute_eccentricities",
+    "eccentricities_per_component",
+    "approximate_eccentricities",
+    "kifecc_sweep",
+    "ProbeProfile",
+    "probe_numbers",
+    "EccentricityResult",
+    "ProgressSnapshot",
+    "Stratification",
+    "stratify",
+    "exact_via_f1",
+    "approximate_via_f2",
+]

@@ -1,0 +1,92 @@
+"""Farthest-First Node Orders (FFO) — Section 3.2.
+
+The FFO of a node ``z`` is the reverse-BFS order
+``L^z = <v_1, v_2, ..., v_n = z>`` with
+``dist(z, v_1) >= dist(z, v_2) >= ... >= dist(z, v_n) = 0``.
+
+PLLECC probes distances along a vertex's (approximate) FFO so bounds close
+quickly; IFECC turns the same order into the *BFS source priority order* of
+the BFS-framework.  Ties are broken by ascending vertex id so every run is
+reproducible (the paper leaves tie order unspecified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+
+__all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
+
+
+@dataclass(frozen=True)
+class FarthestFirstOrder:
+    """The FFO of one reference node.
+
+    Attributes
+    ----------
+    source:
+        The node ``z`` the order belongs to.
+    order:
+        ``int32`` vertex ids sorted by non-increasing distance from ``z``
+        (unreachable vertices are excluded; ``z`` itself is last).
+    distances:
+        Full distance vector from ``z`` (``-1`` = unreachable).
+    eccentricity:
+        ``ecc(z)``, i.e. ``distances[order[0]]``.
+    """
+
+    source: int
+    order: np.ndarray
+    distances: np.ndarray
+    eccentricity: int
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def distance_of_rank(self, rank: int) -> int:
+        """``dist(v_rank, z)`` for 0-based ``rank``; 0 past the end.
+
+        The "past the end" convention feeds Lemma 3.3: once every node has
+        been probed the unprobed tail contributes nothing.
+        """
+        if rank >= len(self.order):
+            return 0
+        return int(self.distances[self.order[rank]])
+
+    def prefix(self, count: int) -> np.ndarray:
+        """The first ``count`` nodes of the order (the FFO "front")."""
+        return self.order[:count]
+
+
+def farthest_first_order(
+    distances: np.ndarray, source: int
+) -> FarthestFirstOrder:
+    """Build a :class:`FarthestFirstOrder` from a precomputed distance
+    vector (ties broken by ascending id)."""
+    reachable = np.flatnonzero(distances >= 0)
+    # Stable sort on ascending id, keyed by descending distance.
+    order = reachable[
+        np.argsort(-distances[reachable].astype(np.int64), kind="stable")
+    ].astype(np.int32)
+    ecc = int(distances[order[0]]) if len(order) else 0
+    return FarthestFirstOrder(
+        source=source,
+        order=order,
+        distances=distances,
+        eccentricity=ecc,
+    )
+
+
+def compute_ffo(
+    graph: Graph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> FarthestFirstOrder:
+    """Run one BFS from ``source`` and return its FFO (Algorithm 2, line 4)."""
+    _, distances = eccentricity_and_distances(graph, source, counter=counter)
+    return farthest_first_order(distances, source)

@@ -1,0 +1,218 @@
+"""The abstract BFS-framework (Section 3.1).
+
+Every exact or approximate ED algorithm the paper surveys fits the same
+loop:
+
+1. initialise ``ecc_lower = 0``, ``ecc_upper = +inf`` for all vertices;
+2. pick source vertices ``S`` — collectively, or one at a time by a
+   priority rule;
+3. BFS from each source ``t``; the BFS yields ``ecc(t)`` exactly and
+   Lemma 3.1 tightens every other vertex's bounds; stop when all bounds
+   have met (exact) or the budget runs out (approximate).
+
+:class:`BFSFramework` implements the loop; a :class:`SourceSelector`
+supplies step 2.  The classic heuristics from the literature ship here:
+
+* :class:`LargestGapSelector` — Henderson's OPEX rule (largest
+  upper-lower gap first);
+* :class:`AlternatingBoundSelector` — Takes & Kosters' rule (alternate
+  between the unresolved vertex of smallest lower bound and of largest
+  upper bound, degree as tie-break) — this instance *is* the BoundECC
+  baseline;
+* :class:`RandomSelector` — uniformly random unresolved vertex;
+* :class:`DegreeSelector` — highest-degree unresolved vertex first.
+
+IFECC is the discovery that the right priority order is the reference
+node's FFO; it is implemented natively in :mod:`repro.core.ifecc` (its
+Lemma 3.3 territory cap does not fit the per-vertex selector interface),
+but :class:`FFOSelector` is provided to demonstrate conformance: plugging
+it into this framework yields the same BFS sequence as IFECC-1 without
+the tail cap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.core.bounds import BoundState
+from repro.core.ffo import compute_ffo
+from repro.core.result import EccentricityResult
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+
+__all__ = [
+    "SourceSelector",
+    "LargestGapSelector",
+    "AlternatingBoundSelector",
+    "RandomSelector",
+    "DegreeSelector",
+    "FFOSelector",
+    "BFSFramework",
+]
+
+
+class SourceSelector(Protocol):
+    """Strategy interface for step 2 of the BFS-framework."""
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        """Return the next BFS source, or ``None`` when done.
+
+        Implementations must return an *unresolved* vertex; returning
+        ``None`` with unresolved vertices remaining aborts the run as
+        non-exact.
+        """
+        ...  # pragma: no cover
+
+
+def _unresolved(bounds: BoundState) -> np.ndarray:
+    return np.flatnonzero(bounds.lower != bounds.upper)
+
+
+class LargestGapSelector:
+    """Henderson's rule: the vertex with the largest bound gap."""
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        candidates = _unresolved(bounds)
+        if len(candidates) == 0:
+            return None
+        gaps = bounds.gap()[candidates]
+        return int(candidates[np.argmax(gaps)])
+
+
+class AlternatingBoundSelector:
+    """Takes & Kosters' rule (the BoundECC strategy).
+
+    Alternates between the unresolved vertex with the smallest lower
+    bound (candidate graph-center, whose BFS pulls upper bounds down) and
+    the one with the largest upper bound (candidate periphery, whose BFS
+    pushes lower bounds up).  Ties are broken by larger degree, then by
+    smaller id, as in the reference implementation.
+    """
+
+    def __init__(self):
+        self._pick_small_lower = True
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        candidates = _unresolved(bounds)
+        if len(candidates) == 0:
+            return None
+        degrees = graph.degrees[candidates]
+        if self._pick_small_lower:
+            key = bounds.lower[candidates].astype(np.int64)
+            ranking = np.lexsort((candidates, -degrees, key))
+        else:
+            key = -bounds.upper[candidates].astype(np.int64)
+            ranking = np.lexsort((candidates, -degrees, key))
+        self._pick_small_lower = not self._pick_small_lower
+        return int(candidates[ranking[0]])
+
+
+class RandomSelector:
+    """Uniformly random unresolved vertex (the sampling baselines)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        candidates = _unresolved(bounds)
+        if len(candidates) == 0:
+            return None
+        return int(candidates[self._rng.integers(0, len(candidates))])
+
+
+class DegreeSelector:
+    """Highest-degree unresolved vertex first."""
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        candidates = _unresolved(bounds)
+        if len(candidates) == 0:
+            return None
+        degrees = graph.degrees[candidates]
+        ranking = np.lexsort((candidates, -degrees))
+        return int(candidates[ranking[0]])
+
+
+class FFOSelector:
+    """IFECC's priority order expressed as a framework selector.
+
+    Walks the FFO of the highest-degree vertex front-to-back, skipping
+    already-resolved vertices; falls back to any unresolved vertex once
+    the order is exhausted (cannot happen on connected graphs, where the
+    order covers V).
+    """
+
+    def __init__(self):
+        self._order: Optional[np.ndarray] = None
+        self._cursor = 0
+
+    def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
+        if self._order is None:
+            z = graph.max_degree_vertex()
+            ffo = compute_ffo(graph, z)
+            # The reference BFS itself is performed by the framework when
+            # it selects z; put z first, then the farthest-first order.
+            self._order = np.concatenate(
+                ([z], ffo.order[ffo.order != z])
+            ).astype(np.int64)
+        while self._cursor < len(self._order):
+            v = int(self._order[self._cursor])
+            self._cursor += 1
+            if bounds.lower[v] != bounds.upper[v]:
+                return v
+        remaining = _unresolved(bounds)
+        return int(remaining[0]) if len(remaining) else None
+
+
+class BFSFramework:
+    """Generic driver for bound-based ED computation (Section 3.1)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        selector: SourceSelector,
+        counter: Optional[BFSCounter] = None,
+    ):
+        if graph.num_vertices == 0:
+            raise InvalidParameterError("graph must have at least one vertex")
+        self.graph = graph
+        self.selector = selector
+        self.counter = counter if counter is not None else BFSCounter()
+        self.bounds = BoundState(graph.num_vertices)
+
+    def run(
+        self,
+        max_bfs: Optional[int] = None,
+        algorithm: str = "BFS-framework",
+    ) -> EccentricityResult:
+        """Iterate select-BFS-update until resolved or out of budget."""
+        start = time.perf_counter()
+        exact = True
+        while not self.bounds.all_resolved():
+            if max_bfs is not None and self.counter.bfs_runs >= max_bfs:
+                exact = False
+                break
+            source = self.selector.select(self.graph, self.bounds)
+            if source is None:
+                exact = self.bounds.all_resolved()
+                break
+            ecc_s, dist_s = eccentricity_and_distances(
+                self.graph, source, counter=self.counter
+            )
+            self.bounds.set_exact(source, ecc_s)
+            self.bounds.apply_lemma31(dist_s, ecc_s)
+        elapsed = time.perf_counter() - start
+        ecc = self.bounds.lower.copy()
+        return EccentricityResult(
+            eccentricities=ecc,
+            lower=self.bounds.lower.copy(),
+            upper=self.bounds.upper.copy(),
+            exact=exact and self.bounds.all_resolved(),
+            algorithm=algorithm,
+            num_bfs=self.counter.bfs_runs,
+            elapsed_seconds=elapsed,
+            counter=self.counter,
+        )

@@ -1,0 +1,350 @@
+"""IFECC — Index-Free Eccentricity Computation (Algorithm 2, Section 4).
+
+IFECC plugs the farthest-first node order (FFO) of a handful of reference
+nodes into the BFS-framework:
+
+1. select ``r`` highest-degree reference nodes ``Z`` (line 1);
+2. one BFS per ``z`` in ``Z`` yields ``ecc(z)`` and the FFO ``L^z``
+   (lines 2–4);
+3. every other vertex joins the *territory* ``V^z`` of its closest
+   reference and has its bounds seeded by Lemma 3.1 (lines 5–9);
+4. for each ``z``, BFS from the nodes of ``L^z`` front-to-back; each BFS
+   gives exact distances, so Lemma 3.1 tightens lower bounds and
+   Lemma 3.3 caps upper bounds for the territory, until every territory
+   member's bounds meet (lines 10–18).
+
+The engine is *anytime*: :meth:`IFECC.steps` yields a snapshot after each
+BFS, which is exactly how Algorithm 3 (kIFECC, :mod:`repro.core.kifecc`)
+and the budget-matched SNAP comparison (Figure 14) consume it.
+
+Space is ``O(m + n)`` (Theorem 4.5): the graph, the bound arrays, and the
+``r`` reference distance vectors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.bounds import BoundState
+from repro.core.ffo import FarthestFirstOrder, compute_ffo
+from repro.core.reference import get_strategy
+from repro.core.result import EccentricityResult, ProgressSnapshot
+from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.graph.components import split_components
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    UNREACHED,
+    BFSCounter,
+    eccentricity_and_distances,
+)
+
+__all__ = ["IFECC", "compute_eccentricities", "eccentricities_per_component"]
+
+
+@dataclass
+class _Territory:
+    """A reference node's working state during the main loop."""
+
+    reference: int
+    ffo: FarthestFirstOrder
+    members: np.ndarray  # vertex ids owned by this reference
+
+
+class IFECC:
+    """The IFECC engine.
+
+    Parameters
+    ----------
+    graph:
+        Connected, undirected input graph.  (Disconnected graphs raise
+        :class:`DisconnectedGraphError`; use
+        :func:`eccentricities_per_component` instead.)
+    num_references:
+        ``r``, the reference-node count.  The paper's headline
+        configuration is ``r = 1`` (Section 4.3: "one reference node is
+        enough"); ``r = 16`` matches PLLECC's default and Figure 9's sweep.
+    strategy:
+        Reference-selection rule: ``"degree"`` (paper default),
+        ``"random"``, or ``"center"`` — see :mod:`repro.core.reference`.
+    seed:
+        Seed for stochastic strategies; ignored by ``"degree"``.
+    memoize_distances:
+        Algorithm 2 re-runs a BFS when a vertex sits at the FFO front of
+        several references (the redundancy Section 4.3 quantifies in
+        Figure 5).  With this flag the engine instead caches each BFS
+        source's distance vector and replays it — the "memorize the
+        computed results" trade-off the paper notes costs additional
+        space (``O(#BFS * n)``), so it is off by default.  Distance
+        vectors of the reference nodes themselves are always reused;
+        they are stored anyway.
+    counter:
+        Optional shared :class:`BFSCounter` for cost accounting.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_references: int = 1,
+        strategy: str = "degree",
+        seed: int = 0,
+        memoize_distances: bool = False,
+        counter: Optional[BFSCounter] = None,
+    ):
+        if num_references < 1:
+            raise InvalidParameterError("num_references must be >= 1")
+        if graph.num_vertices == 0:
+            raise InvalidParameterError("graph must have at least one vertex")
+        self.graph = graph
+        self.num_references = min(num_references, graph.num_vertices)
+        self.strategy = strategy
+        self.seed = seed
+        self.memoize_distances = memoize_distances
+        self.counter = counter if counter is not None else BFSCounter()
+        self.bounds = BoundState(graph.num_vertices)
+        self.references = get_strategy(strategy)(
+            graph, self.num_references, seed
+        )
+        self._territories: List[_Territory] = []
+        # source id -> (ecc, distance vector) for sources whose BFS result
+        # is retained: always the references, plus every BFS source when
+        # memoize_distances is on.
+        self._known: dict = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: reference BFS + territory assignment (Algorithm 2, 1-9)
+    # ------------------------------------------------------------------
+    def _initialise(self) -> Iterator[ProgressSnapshot]:
+        graph = self.graph
+        n = graph.num_vertices
+        ffos: List[FarthestFirstOrder] = []
+        for z in self.references:
+            ffo = compute_ffo(graph, int(z), counter=self.counter)
+            if np.any(ffo.distances == UNREACHED):
+                raise DisconnectedGraphError(
+                    num_components=len(split_components(graph))
+                )
+            ffos.append(ffo)
+            self.bounds.set_exact(int(z), ffo.eccentricity)
+            self._known[int(z)] = (ffo.eccentricity, ffo.distances)
+            yield self._snapshot(int(z))
+
+        # Closest reference per vertex; ties go to the earlier entry of Z
+        # (the higher-degree reference), matching Example 4.6.
+        dist_matrix = np.stack([f.distances for f in ffos])  # (r, n)
+        owner_idx = np.argmin(dist_matrix, axis=0)
+
+        for idx, ffo in enumerate(ffos):
+            z = int(self.references[idx])
+            members = np.flatnonzero(owner_idx == idx)
+            members = members[~np.isin(members, self.references)]
+            # Lemma 3.1 seed from the territory's own reference (lines 8-9).
+            dist_z = ffo.distances[members].astype(np.int32)
+            self.bounds.lower[members] = np.maximum(
+                self.bounds.lower[members],
+                np.maximum(dist_z, ffo.eccentricity - dist_z),
+            )
+            self.bounds.upper[members] = np.minimum(
+                self.bounds.upper[members], dist_z + ffo.eccentricity
+            )
+            self._territories.append(
+                _Territory(
+                    reference=z, ffo=ffo, members=members.astype(np.int64)
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 2: FFO-ordered BFS sweep (Algorithm 2, 10-18)
+    # ------------------------------------------------------------------
+    def steps(self) -> Iterator[ProgressSnapshot]:
+        """Run the algorithm, yielding a snapshot after every BFS.
+
+        Exhausting the iterator completes the exact computation; stopping
+        early leaves valid (possibly unresolved) bounds in
+        :attr:`bounds` — that is the anytime mode kIFECC builds on.
+        """
+        yield from self._initialise()
+        for territory in self._territories:
+            yield from self._sweep_territory(territory)
+
+    def _sweep_territory(
+        self, territory: _Territory
+    ) -> Iterator[ProgressSnapshot]:
+        bounds = self.bounds
+        members = territory.members
+        ffo = territory.ffo
+        dist_to_z = ffo.distances
+        unresolved = members[bounds.lower[members] != bounds.upper[members]]
+        if len(unresolved) == 0:
+            return
+        for rank, source in enumerate(ffo.order):
+            source = int(source)
+            if source == territory.reference:
+                continue
+            tail_radius = ffo.distance_of_rank(rank + 1)
+            if source in self._known:
+                # Replay the retained distance vector instead of
+                # re-running the BFS.  Lemma 3.3 stays sound because the
+                # replayed Lemma 3.1 update makes `source` a probed node
+                # of this territory, exactly as a fresh BFS would.
+                ecc_s, dist_s = self._known[source]
+                fresh_bfs = False
+            else:
+                ecc_s, dist_s = eccentricity_and_distances(
+                    self.graph, source, counter=self.counter
+                )
+                # The BFS determines ecc(source) exactly even if `source`
+                # belongs to another territory.
+                bounds.set_exact(source, ecc_s)
+                if self.memoize_distances:
+                    self._known[source] = (ecc_s, dist_s)
+                fresh_bfs = True
+            # Lemma 3.1 (lower) for the territory...
+            bounds.lower[unresolved] = np.maximum(
+                bounds.lower[unresolved],
+                dist_s[unresolved].astype(np.int32),
+            )
+            # ... and Lemma 3.3's shrinking tail cap (upper).
+            bounds.apply_lemma33_tail(
+                dist_to_z, tail_radius, subset=unresolved
+            )
+            if fresh_bfs:
+                yield self._snapshot(source)
+            unresolved = unresolved[
+                bounds.lower[unresolved] != bounds.upper[unresolved]
+            ]
+            if len(unresolved) == 0:
+                break
+
+    def _snapshot(self, source: int) -> ProgressSnapshot:
+        return ProgressSnapshot(
+            bfs_runs=self.counter.bfs_runs,
+            source=source,
+            resolved=self.bounds.num_resolved(),
+            num_vertices=self.graph.num_vertices,
+        )
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run(self) -> EccentricityResult:
+        """Run to completion and return the exact ED (Algorithm 2)."""
+        start = time.perf_counter()
+        for _ in self.steps():
+            pass
+        elapsed = time.perf_counter() - start
+        return EccentricityResult(
+            eccentricities=self.bounds.eccentricities(),
+            lower=self.bounds.lower.copy(),
+            upper=self.bounds.upper.copy(),
+            exact=True,
+            algorithm=f"IFECC-{self.num_references}",
+            num_bfs=self.counter.bfs_runs,
+            elapsed_seconds=elapsed,
+            reference_nodes=self.references.copy(),
+            counter=self.counter,
+        )
+
+    def run_budgeted(self, max_bfs: int) -> EccentricityResult:
+        """Stop after ``max_bfs`` total BFS runs; lower bounds become the
+        estimate (the anytime by-product of Section 1, contribution 5)."""
+        if max_bfs < 0:
+            raise InvalidParameterError("max_bfs must be non-negative")
+        start = time.perf_counter()
+        exact = True
+        for snapshot in self.steps():
+            if snapshot.bfs_runs >= max_bfs:
+                exact = self.bounds.all_resolved()
+                break
+        else:
+            exact = True
+        elapsed = time.perf_counter() - start
+        return EccentricityResult(
+            eccentricities=self.bounds.lower.copy(),
+            lower=self.bounds.lower.copy(),
+            upper=self.bounds.upper.copy(),
+            exact=exact,
+            algorithm=f"IFECC-{self.num_references}(budget={max_bfs})",
+            num_bfs=self.counter.bfs_runs,
+            elapsed_seconds=elapsed,
+            reference_nodes=self.references.copy(),
+            counter=self.counter,
+        )
+
+
+def compute_eccentricities(
+    graph: Graph,
+    num_references: int = 1,
+    strategy: str = "degree",
+    seed: int = 0,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Compute the exact eccentricity distribution with IFECC.
+
+    This is the library's headline entry point — the index-free, exact,
+    ``O(m + n)``-space algorithm of the paper with its recommended
+    ``r = 1`` default.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import paper_example_graph
+    >>> result = compute_eccentricities(paper_example_graph())
+    >>> result.radius, result.diameter
+    (3, 5)
+    """
+    engine = IFECC(
+        graph,
+        num_references=num_references,
+        strategy=strategy,
+        seed=seed,
+        counter=counter,
+    )
+    return engine.run()
+
+
+def eccentricities_per_component(
+    graph: Graph,
+    num_references: int = 1,
+    strategy: str = "degree",
+    seed: int = 0,
+) -> EccentricityResult:
+    """IFECC on each connected component (paper footnote 2).
+
+    Eccentricities are taken within each vertex's component; isolated
+    vertices get eccentricity 0.
+    """
+    n = graph.num_vertices
+    ecc = np.zeros(n, dtype=np.int32)
+    counter = BFSCounter()
+    start = time.perf_counter()
+    num_refs_used: List[int] = []
+    for subgraph, original_ids in split_components(graph):
+        if subgraph.num_vertices == 1:
+            ecc[original_ids] = 0
+            continue
+        result = compute_eccentricities(
+            subgraph,
+            num_references=num_references,
+            strategy=strategy,
+            seed=seed,
+            counter=counter,
+        )
+        ecc[original_ids] = result.eccentricities
+        num_refs_used.extend(
+            int(original_ids[z]) for z in result.reference_nodes
+        )
+    elapsed = time.perf_counter() - start
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=ecc.copy(),
+        upper=ecc.copy(),
+        exact=True,
+        algorithm=f"IFECC-{num_references}(per-component)",
+        num_bfs=counter.bfs_runs,
+        elapsed_seconds=elapsed,
+        reference_nodes=np.asarray(num_refs_used, dtype=np.int32),
+        counter=counter,
+    )

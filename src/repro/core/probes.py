@@ -1,0 +1,106 @@
+"""Probe numbers (Definition 4.1) — the measure motivating IFECC.
+
+For a reference node ``z`` and the ``i``-th node ``v_i`` of its FFO
+``L^z``, the probe number ``PN^z(v_i)`` counts how many vertices ``v``
+(with reference ``z``) queried the distance ``dist(v, v_i)`` during
+PLLECC's probing before their bounds closed.  Lemma 4.3 shows the probe
+number is non-increasing along the FFO — which is why only the FFO *front*
+matters and the all-pair index is an overkill.
+
+:func:`probe_numbers` replays PLLECC's probing loop (Algorithm 1, lines
+6–14) with BFS-supplied distances, producing the exact probe numbers of
+Table 2 for any graph small enough to afford |V| BFS runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import INFINITE_ECC
+from repro.core.ffo import FarthestFirstOrder, compute_ffo
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.traversal import BFSCounter, bfs_distances
+
+__all__ = ["ProbeProfile", "probe_numbers"]
+
+
+@dataclass(frozen=True)
+class ProbeProfile:
+    """Probe numbers of one reference node.
+
+    Attributes
+    ----------
+    ffo:
+        The reference's farthest-first order.
+    counts:
+        ``counts[i] = PN^z(v_i)`` aligned with ``ffo.order``.
+    territory_size:
+        Number of vertices whose reference is this node.
+    """
+
+    ffo: FarthestFirstOrder
+    counts: np.ndarray
+    territory_size: int
+
+    def as_table_row(self) -> Dict[int, int]:
+        """Map vertex id -> probe number (Table 2 layout)."""
+        return {
+            int(v): int(c) for v, c in zip(self.ffo.order, self.counts)
+        }
+
+    def is_monotone(self) -> bool:
+        """Lemma 4.3: probe numbers never increase along the FFO."""
+        return bool(np.all(np.diff(self.counts) <= 0))
+
+
+def probe_numbers(
+    graph: Graph,
+    references: Sequence[int],
+    counter: Optional[BFSCounter] = None,
+) -> List[ProbeProfile]:
+    """Replay PLLECC's probing and count probes per FFO position.
+
+    Runs |V| BFS traversals (one per probing vertex) to supply the
+    distances PLLECC would read from its index, so use on small graphs
+    only (the Table 2 reproduction and unit tests).
+    """
+    refs = [int(z) for z in references]
+    if len(refs) == 0:
+        raise InvalidParameterError("at least one reference node required")
+    ffos = {z: compute_ffo(graph, z, counter=counter) for z in refs}
+    counts = {z: np.zeros(len(ffos[z].order), dtype=np.int64) for z in refs}
+    territory_sizes = {z: 0 for z in refs}
+
+    ref_dists = np.stack([ffos[z].distances for z in refs])
+    for v in range(graph.num_vertices):
+        if v in refs:
+            continue
+        z = refs[int(np.argmin(ref_dists[:, v]))]
+        territory_sizes[z] += 1
+        ffo = ffos[z]
+        dist_v = bfs_distances(graph, v, counter=counter)
+        # Lemma 3.1 seed from the reference (Algorithm 1, lines 8-9).
+        dist_vz = int(ffo.distances[v])
+        lower = max(dist_vz, ffo.eccentricity - dist_vz)
+        upper = dist_vz + ffo.eccentricity
+        if lower == upper:
+            continue
+        for i, node in enumerate(ffo.order):
+            counts[z][i] += 1
+            lower = max(lower, int(dist_v[node]))
+            tail = ffo.distance_of_rank(i + 1)
+            upper = min(upper, max(lower, tail + dist_vz))
+            if lower == upper:
+                break
+    return [
+        ProbeProfile(
+            ffo=ffos[z],
+            counts=counts[z],
+            territory_size=territory_sizes[z],
+        )
+        for z in refs
+    ]

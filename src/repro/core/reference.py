@@ -1,0 +1,108 @@
+"""Reference-node selection strategies.
+
+Both PLLECC (Algorithm 1, line 2) and IFECC (Algorithm 2, line 1) pick
+``r`` *reference nodes* ``Z``; the paper uses the ``r`` highest-degree
+vertices, arguing (Section 7.4) that in core–periphery networks the
+highest-degree node sits near the graph center, which keeps the farthest
+sets ``F1``/``F2`` small.
+
+This module also ships two alternatives used by the reference-selection
+ablation benchmark: uniform-random selection and a two-sweep pseudo-center
+heuristic.  The theory of Section 5 holds for *any* reference node; the
+strategies differ only in how small ``|F1|``/``|F2|`` come out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.traversal import bfs_distances
+
+__all__ = [
+    "highest_degree",
+    "random_vertices",
+    "two_sweep_pseudo_center",
+    "get_strategy",
+    "STRATEGIES",
+]
+
+SelectionStrategy = Callable[[Graph, int, int], np.ndarray]
+
+
+def _check_count(graph: Graph, count: int) -> None:
+    if count < 1:
+        raise InvalidParameterError("reference count must be >= 1")
+    if graph.num_vertices == 0:
+        raise InvalidParameterError("cannot select references in empty graph")
+
+
+def highest_degree(graph: Graph, count: int, seed: int = 0) -> np.ndarray:
+    """The ``count`` highest-degree vertices (the paper's choice).
+
+    ``seed`` is accepted for signature uniformity and ignored — the
+    selection is deterministic.
+    """
+    _check_count(graph, count)
+    return graph.top_degree_vertices(count)
+
+
+def random_vertices(graph: Graph, count: int, seed: int = 0) -> np.ndarray:
+    """``count`` distinct vertices chosen uniformly at random."""
+    _check_count(graph, count)
+    rng = np.random.default_rng(seed)
+    count = min(count, graph.num_vertices)
+    return rng.choice(
+        graph.num_vertices, size=count, replace=False
+    ).astype(np.int32)
+
+
+def two_sweep_pseudo_center(
+    graph: Graph, count: int, seed: int = 0
+) -> np.ndarray:
+    """Pseudo-center by the classic double-sweep heuristic.
+
+    BFS from the highest-degree vertex finds a far vertex ``a``; BFS from
+    ``a`` finds ``b`` (the double-sweep diameter endpoints).  The vertex
+    minimising ``max(dist(a, v), dist(b, v))`` approximates the graph
+    center; ties are broken by higher degree then smaller id.  Additional
+    references (``count > 1``) are the next-best vertices under the same
+    score.
+    """
+    _check_count(graph, count)
+    start = graph.max_degree_vertex()
+    dist_start = bfs_distances(graph, start)
+    a = int(np.argmax(dist_start))
+    dist_a = bfs_distances(graph, a)
+    b = int(np.argmax(dist_a))
+    dist_b = bfs_distances(graph, b)
+    # Unreachable vertices must never win: give them an infinite score.
+    score = np.maximum(dist_a, dist_b).astype(np.int64)
+    score[(dist_a < 0) | (dist_b < 0)] = np.iinfo(np.int64).max
+    # Rank by (score asc, degree desc, id asc).
+    ranking = np.lexsort(
+        (np.arange(graph.num_vertices), -graph.degrees, score)
+    )
+    count = min(count, graph.num_vertices)
+    return ranking[:count].astype(np.int32)
+
+
+STRATEGIES: Dict[str, SelectionStrategy] = {
+    "degree": highest_degree,
+    "random": random_vertices,
+    "center": two_sweep_pseudo_center,
+}
+
+
+def get_strategy(name: str) -> SelectionStrategy:
+    """Look up a strategy by name (``degree``, ``random``, ``center``)."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown reference strategy {name!r}; "
+            f"choose from {sorted(STRATEGIES)}"
+        ) from None

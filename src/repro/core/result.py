@@ -1,0 +1,120 @@
+"""Result objects returned by eccentricity algorithms.
+
+Exact algorithms (IFECC, PLLECC, BoundECC, the naive baseline) and
+approximate ones (kIFECC, kBFS) all return an :class:`EccentricityResult`
+so downstream analysis (accuracy, radius/diameter, plots) is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.traversal import BFSCounter
+
+__all__ = ["EccentricityResult", "ProgressSnapshot"]
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """State emitted after each BFS of an anytime run.
+
+    Attributes
+    ----------
+    bfs_runs:
+        Total BFS runs performed so far (reference BFS included).
+    source:
+        The vertex the last BFS was sourced from.
+    resolved:
+        Number of vertices whose bounds have met.
+    num_vertices:
+        Total vertex count (so ``resolved / num_vertices`` is progress).
+    """
+
+    bfs_runs: int
+    source: int
+    resolved: int
+    num_vertices: int
+
+    @property
+    def fraction_resolved(self) -> float:
+        if self.num_vertices == 0:
+            return 1.0
+        return self.resolved / self.num_vertices
+
+
+@dataclass
+class EccentricityResult:
+    """Outcome of an eccentricity-distribution computation.
+
+    Attributes
+    ----------
+    eccentricities:
+        Per-vertex eccentricity.  Exact when ``exact`` is true, otherwise
+        the algorithm's estimate (for the anytime algorithms this is the
+        lower bound, matching Algorithm 3's return value).
+    lower / upper:
+        The final bound arrays (``upper`` may contain the int32 "infinity"
+        sentinel for never-touched vertices of approximate runs).
+    exact:
+        True when every vertex's bounds met, so ``eccentricities`` is the
+        exact eccentricity distribution ED(G).
+    algorithm:
+        Human-readable algorithm tag, e.g. ``"IFECC-1"``.
+    num_bfs:
+        Number of BFS traversals performed (the paper's cost unit).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    reference_nodes:
+        The reference set Z (empty for algorithms without one).
+    counter:
+        The detailed traversal-work meter.
+    """
+
+    eccentricities: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    exact: bool
+    algorithm: str
+    num_bfs: int
+    elapsed_seconds: float
+    reference_nodes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int32)
+    )
+    counter: Optional[BFSCounter] = None
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.eccentricities)
+
+    @property
+    def radius(self) -> int:
+        """Minimum eccentricity (only meaningful for exact results)."""
+        return int(self.eccentricities.min()) if self.num_vertices else 0
+
+    @property
+    def diameter(self) -> int:
+        """Maximum eccentricity (only meaningful for exact results)."""
+        return int(self.eccentricities.max()) if self.num_vertices else 0
+
+    def accuracy_against(self, truth: np.ndarray) -> float:
+        """Paper's Accuracy metric: % of vertices with exactly correct ecc.
+
+        ``Accuracy = |{v : est(v) == ecc(v)}| / |V| * 100`` (Section 7).
+        """
+        if len(truth) != self.num_vertices:
+            raise ValueError("truth array length mismatch")
+        if self.num_vertices == 0:
+            return 100.0
+        correct = np.count_nonzero(self.eccentricities == truth)
+        return 100.0 * correct / self.num_vertices
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else "approx"
+        return (
+            f"EccentricityResult({self.algorithm}, {kind}, "
+            f"n={self.num_vertices}, bfs={self.num_bfs}, "
+            f"time={self.elapsed_seconds:.3f}s)"
+        )

@@ -1,0 +1,223 @@
+"""Graph stratification and the farthest sets F1 / F2 (Section 5).
+
+Fixing a reference node ``z``, the graph splits into layers
+``S_i^z = {v : dist(v, z) = i}`` (Definition 5.1).  The theory of
+Section 5 tripartites the layers:
+
+* ``F1 = {v : dist(v, z) > ecc(z) / 3}``  — the "farthest 2/3" set;
+* ``F2 = {v : dist(v, z) > 2 ecc(z) / 3}`` — the "farthest 1/3" set.
+
+Theorem 5.5: BFS from every node of ``F1`` determines the *exact* ED —
+for ``v`` outside ``F1``, some farthest node of ``v`` lies inside ``F1``.
+
+Theorem 5.6: BFS from every node of ``F2`` yields the exact ``ecc`` inside
+``F2`` and, outside it, the estimator
+
+    ecc~(v) = max(dist_max(v, F2), dist(v, z) + ecc(z) / 4)
+
+with guarantee ``7/12 <= ecc~(v) / ecc(v) <= 3/2``.
+
+This module computes the stratification, implements both theorem-driven
+algorithms (they double as independent oracles for IFECC in the test
+suite), and provides the ``|F1|``/``|F2|`` statistics of Figure 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.result import EccentricityResult
+from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    UNREACHED,
+    BFSCounter,
+    bfs_distances,
+    eccentricity_and_distances,
+)
+
+__all__ = [
+    "Stratification",
+    "stratify",
+    "exact_via_f1",
+    "approximate_via_f2",
+]
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """Layer structure of a graph around a reference node ``z``.
+
+    Attributes
+    ----------
+    reference:
+        The node ``z``.
+    distances:
+        Distance vector from ``z``.
+    eccentricity:
+        ``ecc(z)`` (the number of non-empty layers minus one).
+    """
+
+    reference: int
+    distances: np.ndarray
+    eccentricity: int
+
+    def layer(self, i: int) -> np.ndarray:
+        """Vertex ids of layer ``S_i^z`` (Definition 5.1)."""
+        return np.flatnonzero(self.distances == i).astype(np.int32)
+
+    def layer_sizes(self) -> np.ndarray:
+        """``sizes[i] = |S_i^z|`` for ``i = 0 .. ecc(z)``."""
+        reachable = self.distances[self.distances >= 0]
+        return np.bincount(
+            reachable.astype(np.int64), minlength=self.eccentricity + 1
+        )
+
+    @property
+    def f1(self) -> np.ndarray:
+        """The farthest (2/3) set: ``dist(v, z) > ecc(z) / 3``.
+
+        The threshold is evaluated exactly with integer arithmetic
+        (``3 * dist > ecc``) to avoid float edge cases.
+        """
+        return np.flatnonzero(
+            3 * self.distances.astype(np.int64) > self.eccentricity
+        ).astype(np.int32)
+
+    @property
+    def f2(self) -> np.ndarray:
+        """The farthest (1/3) set: ``dist(v, z) > 2 ecc(z) / 3``."""
+        return np.flatnonzero(
+            3 * self.distances.astype(np.int64) > 2 * self.eccentricity
+        ).astype(np.int32)
+
+    def sizes(self) -> Dict[str, int]:
+        """The Figure 12 statistics."""
+        return {"n": len(self.distances), "F1": len(self.f1), "F2": len(self.f2)}
+
+
+def stratify(
+    graph: Graph,
+    reference: Optional[int] = None,
+    counter: Optional[BFSCounter] = None,
+) -> Stratification:
+    """Stratify ``graph`` around ``reference`` (default: highest degree).
+
+    Requires a connected graph; Section 5's analysis holds for any
+    reference choice, Section 7.4 recommends the highest-degree node.
+    """
+    if graph.num_vertices == 0:
+        raise InvalidParameterError("cannot stratify the empty graph")
+    if reference is None:
+        reference = graph.max_degree_vertex()
+    ecc, dist = eccentricity_and_distances(graph, reference, counter=counter)
+    if np.any(dist == UNREACHED):
+        from repro.graph.components import connected_components
+
+        raise DisconnectedGraphError(
+            connected_components(graph).num_components
+        )
+    return Stratification(
+        reference=int(reference), distances=dist, eccentricity=ecc
+    )
+
+
+def exact_via_f1(
+    graph: Graph,
+    reference: Optional[int] = None,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Exact ED by BFS from every node of ``F1`` (Theorem 5.5).
+
+    For ``v`` in ``F1`` the eccentricity comes from ``v``'s own BFS; for
+    ``v`` outside, ``ecc(v) = max_{u in F1} dist(u, v)`` — the theorem
+    guarantees some farthest node of ``v`` lies in ``F1``.
+    """
+    counter = counter if counter is not None else BFSCounter()
+    start = time.perf_counter()
+    strat = stratify(graph, reference, counter=counter)
+    n = graph.num_vertices
+    ecc = np.zeros(n, dtype=np.int32)
+    f1 = strat.f1
+    in_f1 = np.zeros(n, dtype=bool)
+    in_f1[f1] = True
+    for u in f1:
+        ecc_u, dist_u = eccentricity_and_distances(
+            graph, int(u), counter=counter
+        )
+        ecc[u] = ecc_u
+        outside = ~in_f1
+        ecc[outside] = np.maximum(ecc[outside], dist_u[outside])
+    # The reference itself: covered by max-over-F1 unless F1 is empty
+    # (single-vertex graph or ecc(z) = 0).
+    if len(f1) == 0:
+        ecc[:] = strat.eccentricity
+        ecc[strat.reference] = strat.eccentricity
+    elapsed = time.perf_counter() - start
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=ecc.copy(),
+        upper=ecc.copy(),
+        exact=True,
+        algorithm="F1-exact",
+        num_bfs=counter.bfs_runs,
+        elapsed_seconds=elapsed,
+        reference_nodes=np.asarray([strat.reference], dtype=np.int32),
+        counter=counter,
+    )
+
+
+def approximate_via_f2(
+    graph: Graph,
+    reference: Optional[int] = None,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Approximate ED by BFS from every node of ``F2`` (Theorem 5.6).
+
+    Inside ``F2`` the result is exact; outside, the theorem's estimator
+    ``max(dist_max(v, F2), dist(v, z) + ecc(z) / 4)`` applies, with a
+    guaranteed ratio in ``[7/12, 3/2]``.  The ``ecc(z) / 4`` term keeps
+    the paper's real-valued arithmetic; estimates are rounded down to
+    stay integral (rounding down never violates the lower ratio bound
+    because the other max-term ``dist_max`` is integral).
+    """
+    counter = counter if counter is not None else BFSCounter()
+    start = time.perf_counter()
+    strat = stratify(graph, reference, counter=counter)
+    n = graph.num_vertices
+    f2 = strat.f2
+    in_f2 = np.zeros(n, dtype=bool)
+    in_f2[f2] = True
+    dist_max_f2 = np.zeros(n, dtype=np.int64)
+    ecc_exact = np.zeros(n, dtype=np.int64)
+    for u in f2:
+        ecc_u, dist_u = eccentricity_and_distances(
+            graph, int(u), counter=counter
+        )
+        ecc_exact[u] = ecc_u
+        dist_max_f2 = np.maximum(dist_max_f2, dist_u)
+    theorem_term = (
+        strat.distances.astype(np.float64) + strat.eccentricity / 4.0
+    )
+    estimate = np.maximum(dist_max_f2.astype(np.float64), theorem_term)
+    ecc = np.floor(estimate).astype(np.int32)
+    ecc[in_f2] = ecc_exact[in_f2]
+    if len(f2) == 0:
+        # ecc(z) = 0: isolated vertex graph.
+        ecc[:] = 0
+    elapsed = time.perf_counter() - start
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=np.where(in_f2, ecc, dist_max_f2.astype(np.int32)),
+        upper=ecc.copy(),
+        exact=False,
+        algorithm="F2-approx",
+        num_bfs=counter.bfs_runs,
+        elapsed_seconds=elapsed,
+        reference_nodes=np.asarray([strat.reference], dtype=np.int32),
+        counter=counter,
+    )

@@ -1,0 +1,21 @@
+"""Dataset registry (Table 3) and synthetic stand-in loader."""
+
+from repro.datasets.loader import build_standin, clear_cache, load_dataset
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_spec,
+    paper_table3,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "paper_table3",
+    "load_dataset",
+    "build_standin",
+    "clear_cache",
+]

@@ -1,0 +1,128 @@
+"""Materialise dataset stand-ins from their registry recipes.
+
+:func:`load_dataset` builds (or returns from cache) the synthetic
+stand-in graph for a Table 3 dataset: generate the family core, graft the
+periphery tendrils, extract the largest connected component.  Graphs are
+cached in-process — the benchmark suite touches each dataset many times —
+and optionally on disk as ``.npz``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.datasets.registry import DatasetSpec, get_spec
+from repro.graph.components import largest_connected_component
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    attach_branches,
+    attach_deep_trap,
+    attach_handles,
+    barabasi_albert,
+    copying_model,
+)
+from repro.graph.io import load_npz, save_npz
+
+__all__ = ["load_dataset", "build_standin", "scaled_spec", "clear_cache"]
+
+_CACHE: Dict[str, Graph] = {}
+
+
+def scaled_spec(spec: DatasetSpec, scale: float) -> DatasetSpec:
+    """A copy of ``spec`` with the stand-in size scaled by ``scale``.
+
+    Used for quick experiments and the scalability sweeps; the periphery
+    grows proportionally so the structural ratios are preserved.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale == 1.0:
+        return spec
+    return dataclasses.replace(
+        spec,
+        standin_n=max(64, int(spec.standin_n * scale)),
+        periphery_size=max(4, int(spec.periphery_size * scale)),
+    )
+
+
+def build_standin(spec: DatasetSpec) -> Graph:
+    """Build the stand-in graph for ``spec`` (no caching)."""
+    if spec.family == "ba":
+        core = barabasi_albert(spec.standin_n, spec.attach, seed=spec.seed)
+    elif spec.family == "copy":
+        core = copying_model(
+            spec.standin_n,
+            out_degree=spec.attach,
+            copy_probability=0.65,
+            seed=spec.seed,
+        )
+    else:  # pragma: no cover - registry enforces the family names
+        raise ValueError(f"unknown generator family {spec.family!r}")
+    if spec.periphery == "handles":
+        with_periphery = attach_handles(
+            core,
+            num_handles=spec.periphery_size,
+            max_length=spec.periphery_depth,
+            seed=spec.seed + 7,
+        )
+    else:
+        trapped = attach_deep_trap(
+            core, depth=spec.periphery_depth, branch_length=4
+        )
+        with_periphery = attach_branches(
+            trapped,
+            count=spec.periphery_size,
+            max_depth=max(3, spec.periphery_depth // 2),
+            seed=spec.seed + 7,
+            max_anchor_id=spec.standin_n,
+        )
+    graph, _ids = largest_connected_component(with_periphery)
+    return graph
+
+
+def load_dataset(
+    name: str,
+    cache_dir: Optional[str] = None,
+    scale: float = 1.0,
+) -> Graph:
+    """Load a dataset stand-in by its Table 3 short name.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"DBLP"``, ``"TWIT"``, ...).
+    cache_dir:
+        Optional directory for an ``.npz`` disk cache (defaults to the
+        ``REPRO_CACHE_DIR`` environment variable when set, else
+        in-process caching only).
+    scale:
+        Stand-in size multiplier (1.0 = the registry recipe); scaled
+        variants are cached separately.
+    """
+    key = name if scale == 1.0 else f"{name}@{scale:g}"
+    if key in _CACHE:
+        return _CACHE[key]
+    spec = scaled_spec(get_spec(name), scale)
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    disk_path = None
+    if cache_dir:
+        suffix = "" if scale == 1.0 else f"_x{scale:g}"
+        disk_path = Path(cache_dir) / f"{name.lower()}{suffix}_standin.npz"
+        if disk_path.exists():
+            graph = load_npz(disk_path)
+            _CACHE[key] = graph
+            return graph
+    graph = build_standin(spec)
+    if disk_path is not None:
+        disk_path.parent.mkdir(parents=True, exist_ok=True)
+        save_npz(graph, disk_path)
+    _CACHE[key] = graph
+    return graph
+
+
+def clear_cache() -> None:
+    """Drop the in-process graph cache (tests use this)."""
+    _CACHE.clear()

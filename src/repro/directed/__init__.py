@@ -1,0 +1,25 @@
+"""Directed-graph extension: forward eccentricities, radius and diameter
+of strongly connected digraphs via bound propagation (after Akiba,
+Iwata & Kawata 2015, the paper's reference [2])."""
+
+from repro.directed.eccentricity import (
+    directed_eccentricities,
+    directed_ifecc_eccentricities,
+    naive_directed_eccentricities,
+)
+from repro.directed.graph import DirectedGraph
+from repro.directed.traversal import (
+    backward_bfs,
+    forward_bfs,
+    is_strongly_connected,
+)
+
+__all__ = [
+    "DirectedGraph",
+    "forward_bfs",
+    "backward_bfs",
+    "is_strongly_connected",
+    "directed_eccentricities",
+    "directed_ifecc_eccentricities",
+    "naive_directed_eccentricities",
+]

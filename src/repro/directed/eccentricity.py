@@ -1,0 +1,206 @@
+"""Exact forward eccentricities of strongly connected directed graphs.
+
+The forward eccentricity of ``v`` is ``ecc(v) = max_u dist(v, u)``
+(distances along arc directions); the directed radius and diameter are
+its min and max.  The triangle inequality gives directed analogues of
+Lemma 3.1 — for a processed source ``t`` with known ``ecc(t)``:
+
+* ``ecc(v) <= dist(v, t) + ecc(t)``          (needs ``dist(v, t)``,
+  obtained from one *backward* BFS from ``t``), and
+* ``ecc(v) >= ecc(t) - dist(t, v)``          (needs ``dist(t, v)``,
+  from the *forward* BFS), and ``ecc(v) >= dist(v, t)``.
+
+So each processed source costs one forward + one backward BFS and
+tightens every vertex's bounds, exactly like the undirected
+BFS-framework with twice the traversal cost — the scheme of Akiba,
+Iwata & Kawata (2015) for directed diameters, generalised to the full
+eccentricity distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import EccentricityResult
+from repro.directed.graph import DirectedGraph
+from repro.directed.traversal import backward_bfs, forward_bfs
+from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.graph.traversal import UNREACHED, BFSCounter
+
+__all__ = [
+    "directed_eccentricities",
+    "directed_ifecc_eccentricities",
+    "naive_directed_eccentricities",
+]
+
+_INF = np.int64(2**40)
+
+
+def naive_directed_eccentricities(
+    graph: DirectedGraph,
+    counter: Optional[BFSCounter] = None,
+) -> np.ndarray:
+    """One forward BFS per vertex — the directed oracle.
+
+    Requires strong connectivity (raises otherwise).
+    """
+    n = graph.num_vertices
+    ecc = np.zeros(n, dtype=np.int32)
+    for v in range(n):
+        dist = forward_bfs(graph, v, counter=counter)
+        if np.any(dist == UNREACHED) and n > 1:
+            raise DisconnectedGraphError(
+                2, "directed graph is not strongly connected"
+            )
+        ecc[v] = int(dist.max()) if n else 0
+    return ecc
+
+
+def directed_eccentricities(
+    graph: DirectedGraph,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Exact forward eccentricities with bound propagation.
+
+    Sources are chosen by alternating the largest-upper-bound vertex
+    (periphery probe) with the smallest-lower-bound vertex (center
+    probe), each costing a forward + backward BFS pair.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise InvalidParameterError("graph must have at least one vertex")
+    counter = counter if counter is not None else BFSCounter()
+    start = time.perf_counter()
+
+    lower = np.zeros(n, dtype=np.int64)
+    upper = np.full(n, _INF, dtype=np.int64)
+    pick_upper = True
+    while True:
+        unresolved = np.flatnonzero(lower != upper)
+        if len(unresolved) == 0:
+            break
+        if pick_upper:
+            source = int(unresolved[np.argmax(upper[unresolved])])
+        else:
+            source = int(unresolved[np.argmin(lower[unresolved])])
+        pick_upper = not pick_upper
+
+        fwd = forward_bfs(graph, source, counter=counter)
+        if np.any(fwd == UNREACHED) and n > 1:
+            raise DisconnectedGraphError(
+                2, "directed graph is not strongly connected"
+            )
+        bwd = backward_bfs(graph, source, counter=counter)
+        ecc_s = int(fwd.max()) if n else 0
+        fwd64 = fwd.astype(np.int64)
+        bwd64 = bwd.astype(np.int64)
+        # ecc(v) >= max(dist(v, t), ecc(t) - dist(t, v))
+        lower = np.maximum(lower, bwd64)
+        lower = np.maximum(lower, ecc_s - fwd64)
+        # ecc(v) <= dist(v, t) + ecc(t)
+        upper = np.minimum(upper, bwd64 + ecc_s)
+        lower[source] = upper[source] = ecc_s
+        if np.any(lower > upper):
+            raise InvalidParameterError(
+                "inconsistent directed bounds (bad input graph?)"
+            )
+
+    elapsed = time.perf_counter() - start
+    ecc = lower.astype(np.int32)
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=ecc.copy(),
+        upper=ecc.copy(),
+        exact=True,
+        algorithm="DirectedECC",
+        num_bfs=counter.bfs_runs,
+        elapsed_seconds=elapsed,
+        counter=counter,
+    )
+
+
+def directed_ifecc_eccentricities(
+    graph: DirectedGraph,
+    counter: Optional[BFSCounter] = None,
+) -> EccentricityResult:
+    """Exact forward eccentricities with the IFECC scheme carried over
+    to digraphs.
+
+    Fix a reference ``z`` (highest out-degree).  One forward BFS from
+    ``z`` gives ``dist(z, .)`` and ``ecc_f(z)``; one backward BFS gives
+    ``dist(., z)``.  Walk the vertices ``u`` in non-increasing
+    ``dist(z, u)`` (the forward FFO of ``z``): probing ``u`` is a single
+    *backward* BFS, which yields ``dist(v, u)`` for every ``v`` at once —
+
+    * lower: ``ecc_f(v) >= dist(v, u)``;
+    * upper (the directed Lemma 3.3 tail cap): once the whole prefix of
+      the order has been probed, every unprobed ``u`` has
+      ``dist(z, u) <= tail``, so
+      ``ecc_f(v) <= max(lb(v), dist(v, z) + tail)``.
+
+    Each probe costs ONE traversal (the bound-propagation variant
+    :func:`directed_eccentricities` pays two per source), and the tail
+    cap closes the parity-stuck vertices wholesale — the same reason
+    IFECC beats BoundECC on undirected graphs.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise InvalidParameterError("graph must have at least one vertex")
+    counter = counter if counter is not None else BFSCounter()
+    start = time.perf_counter()
+
+    reference = int(np.argmax(graph.out_degrees()))
+    fwd_z = forward_bfs(graph, reference, counter=counter)
+    if np.any(fwd_z == UNREACHED) and n > 1:
+        raise DisconnectedGraphError(
+            2, "directed graph is not strongly connected"
+        )
+    bwd_z = backward_bfs(graph, reference, counter=counter)
+    if np.any(bwd_z == UNREACHED) and n > 1:
+        raise DisconnectedGraphError(
+            2, "directed graph is not strongly connected"
+        )
+    ecc_z = int(fwd_z.max()) if n else 0
+    fwd_z64 = fwd_z.astype(np.int64)
+    bwd_z64 = bwd_z.astype(np.int64)
+
+    # Seed with the directed Lemma 3.1 pair for t = z.
+    lower = np.maximum(bwd_z64, ecc_z - fwd_z64)
+    upper = bwd_z64 + ecc_z
+    lower[reference] = upper[reference] = ecc_z
+
+    # Forward FFO of z (ties by id).
+    order = np.argsort(-fwd_z64, kind="stable")
+    unresolved = np.flatnonzero(lower != upper)
+    for rank, u in enumerate(order):
+        if len(unresolved) == 0:
+            break
+        u = int(u)
+        if u == reference:
+            continue
+        bwd_u = backward_bfs(graph, u, counter=counter).astype(np.int64)
+        lower = np.maximum(lower, bwd_u)
+        tail = int(fwd_z64[order[rank + 1]]) if rank + 1 < n else 0
+        cap = np.maximum(lower, bwd_z64 + tail)
+        upper = np.minimum(upper, cap)
+        unresolved = unresolved[lower[unresolved] != upper[unresolved]]
+
+    if np.any(lower != upper):  # pragma: no cover - exhausting the
+        # order always closes the bounds (tail reaches 0)
+        raise InvalidParameterError("directed IFECC failed to converge")
+    elapsed = time.perf_counter() - start
+    ecc = lower.astype(np.int32)
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=ecc.copy(),
+        upper=ecc.copy(),
+        exact=True,
+        algorithm="DirectedIFECC",
+        num_bfs=counter.bfs_runs,
+        elapsed_seconds=elapsed,
+        reference_nodes=np.asarray([reference], dtype=np.int32),
+        counter=counter,
+    )

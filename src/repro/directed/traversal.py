@@ -1,0 +1,81 @@
+"""Forward and backward BFS on directed graphs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidVertexError
+from repro.graph.traversal import UNREACHED, BFSCounter
+from repro.directed.graph import DirectedGraph
+
+__all__ = ["forward_bfs", "backward_bfs", "is_strongly_connected"]
+
+
+def _bfs(indptr, indices, n, source, counter, label):
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    edges = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        csum = np.cumsum(counts)
+        offsets = np.repeat(starts - (csum - counts), counts)
+        neighbors = indices[np.arange(total, dtype=np.int64) + offsets]
+        edges += total
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        level += 1
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    if counter is not None:
+        counter.record(
+            edges, int(np.count_nonzero(dist != UNREACHED)), label=label
+        )
+    return dist
+
+
+def forward_bfs(
+    graph: DirectedGraph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> np.ndarray:
+    """Distances ``dist(source, v)`` along arc directions."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise InvalidVertexError(source, n)
+    indptr, indices = graph.forward_view()
+    return _bfs(indptr, indices, n, source, counter, f"fwd:{source}")
+
+
+def backward_bfs(
+    graph: DirectedGraph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> np.ndarray:
+    """Distances ``dist(v, source)`` — i.e. along *reversed* arcs."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise InvalidVertexError(source, n)
+    indptr, indices = graph.backward_view()
+    return _bfs(indptr, indices, n, source, counter, f"bwd:{source}")
+
+
+def is_strongly_connected(graph: DirectedGraph) -> bool:
+    """True when every ordered pair is connected (finite directed ecc).
+
+    One forward plus one backward BFS from vertex 0 suffice.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    if np.any(forward_bfs(graph, 0) == UNREACHED):
+        return False
+    return not np.any(backward_bfs(graph, 0) == UNREACHED)

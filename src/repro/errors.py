@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when an edge list or adjacency input cannot form a valid graph."""
+
+
+class DisconnectedGraphError(ReproError):
+    """Raised when an algorithm requiring a connected graph receives one that
+    is disconnected.
+
+    The paper (footnote 2) assumes a connected graph; callers can either
+    extract the largest connected component with
+    :func:`repro.graph.components.largest_connected_component` or run the
+    per-component driver :func:`repro.core.ifecc.eccentricities_per_component`.
+    """
+
+    def __init__(self, num_components: int, message: str = ""):
+        self.num_components = num_components
+        if not message:
+            message = (
+                f"graph is disconnected ({num_components} components); "
+                "extract the largest component or use the per-component driver"
+            )
+        super().__init__(message)
+
+
+class InvalidParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its documented range."""
+
+
+class InvalidVertexError(ReproError):
+    """Raised when a vertex id is outside ``[0, n)`` for the given graph."""
+
+    def __init__(self, vertex: int, num_vertices: int):
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+        super().__init__(
+            f"vertex {vertex} is out of range for a graph with "
+            f"{num_vertices} vertices"
+        )
+
+
+class DatasetNotFoundError(ReproError):
+    """Raised when a dataset name is not present in the registry."""
+
+
+class BudgetExhaustedError(ReproError):
+    """Raised when an algorithm exceeds its configured BFS or time budget."""
+
+    def __init__(self, budget: float, message: str = ""):
+        self.budget = budget
+        super().__init__(message or f"computation budget exhausted ({budget})")

@@ -1,0 +1,242 @@
+"""Immutable CSR (compressed sparse row) graph representation.
+
+All algorithms in this library operate on :class:`Graph`, an adjacency
+structure stored as two numpy arrays:
+
+``indptr``
+    ``int64`` array of length ``n + 1``; the neighbors of vertex ``v`` are
+    ``indices[indptr[v]:indptr[v + 1]]``.
+``indices``
+    ``int32`` array of length ``2m`` holding neighbor ids (each undirected
+    edge appears twice, once per endpoint).
+
+The representation matches what high-performance eccentricity codes (the
+paper's C++ implementation included) use, keeps the memory footprint at the
+``O(m + n)`` promised by Theorem 4.5, and lets the BFS engine in
+:mod:`repro.graph.traversal` expand whole frontiers with vectorised numpy
+operations.
+
+Instances are created through :class:`repro.graph.builder.GraphBuilder` or
+the convenience constructors :meth:`Graph.from_edges` and
+:meth:`Graph.from_adjacency`; the arrays are marked read-only so a graph can
+be shared freely between algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphConstructionError, InvalidVertexError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An unweighted, undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        Row-pointer array of length ``n + 1`` (monotone non-decreasing,
+        starting at 0 and ending at ``len(indices)``).
+    indices:
+        Flattened neighbor array; every undirected edge ``{u, v}`` must
+        appear both in ``u``'s and ``v``'s slice.
+    validate:
+        When true (default) the arrays are checked for structural
+        consistency (symmetry is checked lazily by
+        :meth:`check_symmetric`).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        validate: bool = True,
+    ):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        if validate:
+            self._validate_structure(indptr, indices)
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+        degrees = np.diff(indptr).astype(np.int64)
+        degrees.setflags(write=False)
+        self._degrees = degrees
+
+    @staticmethod
+    def _validate_structure(indptr: np.ndarray, indices: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphConstructionError("indptr and indices must be 1-D arrays")
+        if len(indptr) == 0:
+            raise GraphConstructionError("indptr must have length n + 1 >= 1")
+        if indptr[0] != 0:
+            raise GraphConstructionError("indptr must start at 0")
+        if indptr[-1] != len(indices):
+            raise GraphConstructionError(
+                "indptr must end at len(indices) "
+                f"({indptr[-1]} != {len(indices)})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphConstructionError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphConstructionError("neighbor ids must lie in [0, n)")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_vertices: int | None = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges and self-loops are dropped; the edge list is
+        symmetrised.  ``num_vertices`` defaults to ``max id + 1``.
+        """
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(num_vertices=num_vertices)
+        builder.add_edges(edges)
+        return builder.build()
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
+        """Build a graph from an adjacency list (sequence of neighbor
+        sequences).  The input must already be symmetric."""
+        indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+        chunks: List[np.ndarray] = []
+        for v, neighbors in enumerate(adjacency):
+            arr = np.asarray(sorted(neighbors), dtype=np.int32)
+            indptr[v + 1] = indptr[v] + len(arr)
+            chunks.append(arr)
+        indices = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
+        )
+        graph = cls(indptr, indices)
+        graph.check_symmetric()
+        return graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row-pointer array (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only CSR neighbor array (length ``2m``)."""
+        return self._indices
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return len(self._indices) // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only array of vertex degrees."""
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self._degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the neighbors of ``v``."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v]: self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the undirected edge ``{u, v}`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        # Search the smaller adjacency list; lists are sorted by builder.
+        if self._degrees[u] > self._degrees[v]:
+            u, v = v, u
+        row = self.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and int(row[pos]) == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def max_degree_vertex(self) -> int:
+        """Vertex of maximum degree; ties broken by smallest id."""
+        if self.num_vertices == 0:
+            raise GraphConstructionError("graph has no vertices")
+        return int(np.argmax(self._degrees))
+
+    def top_degree_vertices(self, count: int) -> np.ndarray:
+        """The ``count`` highest-degree vertices, ties broken by smaller id.
+
+        This is the reference-node selection rule used by both PLLECC and
+        IFECC (Algorithm 1 line 2 / Algorithm 2 line 1).
+        """
+        if count < 0:
+            raise GraphConstructionError("count must be non-negative")
+        count = min(count, self.num_vertices)
+        # Sort by (-degree, id): stable argsort on id order with -degree key.
+        order = np.argsort(-self._degrees, kind="stable")
+        return order[:count].astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def check_symmetric(self) -> None:
+        """Raise :class:`GraphConstructionError` unless the adjacency
+        structure is symmetric (every arc has its reverse)."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        dst = self._indices.astype(np.int64)
+        forward = set(zip(src.tolist(), dst.tolist()))
+        for u, v in forward:
+            if (v, u) not in forward:
+                raise GraphConstructionError(
+                    f"adjacency is not symmetric: arc ({u}, {v}) has no reverse"
+                )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise InvalidVertexError(v, self.num_vertices)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Bytes used by the CSR arrays (the ``O(m + n)`` footprint)."""
+        return self._indptr.nbytes + self._indices.nbytes + self._degrees.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return np.array_equal(self._indptr, other._indptr) and np.array_equal(
+            self._indices, other._indices
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,515 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on 20 real graphs of up to 4.65 billion edges
+(Table 3).  Those inputs are far beyond what a pure-Python BFS can sweep in
+this environment, so the dataset registry substitutes each of them with a
+synthetic stand-in of the same *structural family* — the property the
+paper's results actually depend on is the core–periphery / small-world
+shape (dense centre, thin far periphery) which makes ``|F2|`` tiny and the
+FFO fronts of different reference nodes overlap.
+
+Four families cover the paper's dataset types:
+
+* social networks  → :func:`barabasi_albert` (preferential attachment),
+* web graphs       → :func:`copying_model` (Kumar et al. copying process),
+* internet topology→ preferential attachment with lower density,
+* contact networks → :func:`watts_strogatz` rewired lattices.
+
+:func:`attach_periphery` grafts tree tendrils onto low-degree vertices,
+reproducing the remote periphery that real crawls have and that gives the
+eccentricity distribution its spread (Figure 15 shows 10–15 distinct
+eccentricity values per graph).
+
+Deterministic toys (:func:`path_graph`, :func:`cycle_graph`,
+:func:`star_graph`, :func:`complete_graph`, :func:`grid_graph`,
+:func:`balanced_tree`) serve the test suite, and
+:func:`paper_example_graph` rebuilds the 13-node running example of
+Figure 1 exactly.
+
+Every stochastic generator takes an explicit integer seed and is
+reproducible across runs and platforms (numpy ``default_rng``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "copying_model",
+    "core_periphery",
+    "attach_periphery",
+    "attach_handles",
+    "attach_deep_trap",
+    "attach_branches",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "balanced_tree",
+    "paper_example_graph",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) random graph (each pair an edge independently with prob p)."""
+    _require(n >= 0, "n must be non-negative")
+    _require(0.0 <= p <= 1.0, "p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    # Sample the upper triangle in blocks to bound memory.
+    block = 1_000_000
+    pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+    total_pairs = n * (n - 1) // 2
+    # Enumerate pairs lazily by row to stay O(n^2) worst case but vectorised.
+    for u in range(n - 1):
+        count = n - 1 - u
+        mask = rng.random(count) < p
+        if mask.any():
+            vs = np.arange(u + 1, n, dtype=np.int64)[mask]
+            builder.add_edge_arrays(np.full(len(vs), u, dtype=np.int64), vs)
+        if total_pairs > block and u % 1024 == 0:
+            pass  # rows are already incremental; nothing to flush
+    return builder.build()
+
+
+def barabasi_albert(n: int, attach: int, seed: int = 0) -> Graph:
+    """Preferential-attachment graph (Barabási–Albert).
+
+    Starts from a clique on ``attach + 1`` vertices; each new vertex
+    attaches to ``attach`` existing vertices chosen proportionally to
+    degree (via the standard repeated-endpoint urn trick).
+    """
+    _require(attach >= 1, "attach must be >= 1")
+    _require(n > attach, "n must exceed attach")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    urn: List[int] = []  # vertex id repeated once per incident edge endpoint
+    seed_size = attach + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            builder.add_edge(u, v)
+            urn.extend((u, v))
+    for v in range(seed_size, n):
+        targets: set = set()
+        while len(targets) < attach:
+            pick = urn[rng.integers(0, len(urn))]
+            targets.add(pick)
+        for t in targets:
+            builder.add_edge(v, t)
+            urn.extend((v, t))
+    return builder.build()
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    A ring lattice where each vertex connects to its ``k`` nearest
+    neighbors (``k`` even), with each edge rewired to a random endpoint
+    with probability ``beta``.
+    """
+    _require(n >= 3, "n must be >= 3")
+    _require(k >= 2 and k % 2 == 0, "k must be even and >= 2")
+    _require(k < n, "k must be < n")
+    _require(0.0 <= beta <= 1.0, "beta must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < beta:
+                w = int(rng.integers(0, n))
+                attempts = 0
+                while (w == u or w == v) and attempts < 8:
+                    w = int(rng.integers(0, n))
+                    attempts += 1
+                v = w if w != u else v
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def copying_model(
+    n: int,
+    out_degree: int = 4,
+    copy_probability: float = 0.7,
+    seed: int = 0,
+) -> Graph:
+    """Web-graph copying model (Kumar et al. 2000), undirected variant.
+
+    Each new page picks a random prototype page and creates ``out_degree``
+    links; each link copies one of the prototype's links with probability
+    ``copy_probability`` and otherwise points to a uniformly random
+    earlier page.  Copying concentrates links on old popular pages,
+    producing the heavy-tailed, densely-cored structure of real web crawls.
+    """
+    _require(out_degree >= 1, "out_degree must be >= 1")
+    _require(0.0 <= copy_probability <= 1.0, "copy_probability in [0, 1]")
+    _require(n > out_degree + 1, "n must exceed out_degree + 1")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+
+    def link(u: int, v: int) -> None:
+        builder.add_edge(u, v)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    seed_size = out_degree + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            link(u, v)
+    for v in range(seed_size, n):
+        prototype = int(rng.integers(0, v))
+        proto_links = adjacency[prototype]
+        for _ in range(out_degree):
+            if proto_links and rng.random() < copy_probability:
+                target = proto_links[rng.integers(0, len(proto_links))]
+            else:
+                target = int(rng.integers(0, v))
+            if target != v:
+                link(v, target)
+    return builder.build()
+
+
+def core_periphery(
+    core_size: int,
+    periphery_size: int,
+    core_probability: float = 0.3,
+    seed: int = 0,
+) -> Graph:
+    """Explicit core–periphery graph.
+
+    A dense Erdős–Rényi core with sparse periphery vertices each attached
+    to one random core vertex by a path of random length 1–3.  This is the
+    cleanest instance of the structure Section 7.4 appeals to, used by the
+    stratification tests.
+    """
+    _require(core_size >= 2, "core_size must be >= 2")
+    _require(periphery_size >= 0, "periphery_size must be >= 0")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder()
+    # Dense core.
+    for u in range(core_size):
+        for v in range(u + 1, core_size):
+            if rng.random() < core_probability:
+                builder.add_edge(u, v)
+    # Spanning cycle keeps the core connected regardless of density draw.
+    for u in range(core_size):
+        builder.add_edge(u, (u + 1) % core_size)
+    next_id = core_size
+    for _ in range(periphery_size):
+        anchor = int(rng.integers(0, core_size))
+        length = int(rng.integers(1, 4))
+        prev = anchor
+        for _ in range(length):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return builder.build()
+
+
+def attach_periphery(
+    graph: Graph,
+    num_tendrils: int,
+    max_length: int,
+    seed: int = 0,
+    num_anchors: int = 4,
+) -> Graph:
+    """Graft tree-like tendrils onto low-degree vertices of ``graph``.
+
+    Real crawls have a thin far periphery (long chains of rarely-linked
+    pages) which dominates the diameter; synthetic preferential-attachment
+    graphs lack it, making every eccentricity nearly equal.  This helper
+    restores the spread.
+
+    The periphery is built to reproduce two structural facts the paper's
+    experiments rest on:
+
+    * **directional diversity** — tendrils hang from ``num_anchors``
+      distinct anchors, so different vertices have different farthest
+      nodes and no single BFS resolves every bound (otherwise BoundECC
+      trivially wins and the Figure 8 ordering inverts);
+    * **tiered depths** — anchor ``j``'s deepest tendril has length
+      ``max_length - 3 j``, so the set of globally deepest vertices is
+      stable with respect to the +-2 distance wobble between different
+      core hubs and anchors: the FFO fronts of all reference nodes
+      coincide (Figure 5) and ``|F2|`` stays tiny (Figure 12).
+
+    ``seed`` only jitters the tendril lengths by one.
+    """
+    _require(num_tendrils >= 0, "num_tendrils must be non-negative")
+    _require(max_length >= 1, "max_length must be >= 1")
+    _require(num_anchors >= 1, "num_anchors must be >= 1")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder()
+    src = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
+    )
+    builder.add_edge_arrays(src, graph.indices.astype(np.int64))
+    anchors = np.argsort(graph.degrees, kind="stable")[:num_anchors]
+    next_id = graph.num_vertices
+    for i in range(num_tendrils):
+        j = i % len(anchors)
+        round_number = i // len(anchors)
+        base = max_length - 3 * j - round_number
+        length = max(1, base - int(rng.integers(0, 2)))
+        prev = int(anchors[j])
+        for _ in range(length):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return builder.build()
+
+
+def _copy_edges(graph: Graph) -> GraphBuilder:
+    """A builder pre-loaded with every edge of ``graph``."""
+    builder = GraphBuilder()
+    src = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
+    )
+    builder.add_edge_arrays(src, graph.indices.astype(np.int64))
+    return builder
+
+
+def attach_handles(
+    graph: Graph,
+    num_handles: int,
+    max_length: int,
+    seed: int = 0,
+) -> Graph:
+    """Attach "handles" — long paths whose *both* ends join the core.
+
+    Each handle ``i`` is a path of ``max_length - (i % 5)`` new vertices
+    connecting two distinct low-degree core vertices, forming a long
+    cycle through the core.  Unlike tree tendrils, handles have no cut
+    vertex, so no single BFS source is a perfect upper-bound witness for
+    the vertices inside them: shortest paths can leave through either
+    end, and the two routes disagree by parity.  This is the structure
+    that makes bound-based algorithms like BoundECC pay roughly one BFS
+    per stuck vertex while IFECC's Lemma 3.3 cap closes them wholesale —
+    the separation Figure 8 measures on real small-world graphs.
+
+    ``seed`` jitters each handle's length by one.
+    """
+    _require(num_handles >= 0, "num_handles must be non-negative")
+    _require(max_length >= 3, "max_length must be >= 3")
+    _require(
+        2 * num_handles <= graph.num_vertices,
+        "graph too small for this many handles",
+    )
+    rng = np.random.default_rng(seed)
+    builder = _copy_edges(graph)
+    anchors = np.argsort(graph.degrees, kind="stable")
+    next_id = graph.num_vertices
+    for i in range(num_handles):
+        length = max(3, max_length - (i % 5) - int(rng.integers(0, 2)))
+        prev = int(anchors[2 * i])
+        for _ in range(length):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+        builder.add_edge(prev, int(anchors[2 * i + 1]))
+    return builder.build()
+
+
+def attach_deep_trap(
+    graph: Graph,
+    depth: int,
+    branch_length: int = 3,
+    anchor: int | None = None,
+) -> Graph:
+    """Attach one deep caterpillar subtree (a "crawler trap").
+
+    A spine of ``depth`` new vertices hangs from ``anchor`` (default:
+    the lowest-degree vertex); every spine vertex on the lower half
+    sprouts a side path of ``branch_length``.  The trap is the unique
+    deepest region of the graph, behind a single cut vertex — exactly
+    the structure that makes the FFO fronts of all reference nodes
+    coincide (Figure 5): from any central hub, the trap's internal
+    ranking is a fixed ordering shifted by a common constant.
+    """
+    _require(depth >= 1, "depth must be >= 1")
+    _require(branch_length >= 0, "branch_length must be >= 0")
+    builder = _copy_edges(graph)
+    if anchor is None:
+        anchor = int(np.argsort(graph.degrees, kind="stable")[0])
+    next_id = graph.num_vertices
+    prev = anchor
+    spine = []
+    for _ in range(depth):
+        builder.add_edge(prev, next_id)
+        prev = next_id
+        spine.append(next_id)
+        next_id += 1
+    for s in spine[depth // 2:]:
+        prev = s
+        for _ in range(branch_length):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return builder.build()
+
+
+def attach_branches(
+    graph: Graph,
+    count: int,
+    max_depth: int,
+    seed: int = 0,
+    max_anchor_id: int | None = None,
+) -> Graph:
+    """Attach ``count`` tendril branches of random depth ``3..max_depth``
+    at distinct low-degree anchors.
+
+    Scattered branches diversify which vertex is farthest from where,
+    widening the eccentricity distribution (Figure 15) without creating
+    a second globally-deepest region.  ``max_anchor_id`` restricts the
+    anchor pool to vertices with smaller ids — used to keep branches off
+    periphery vertices added by an earlier ``attach_*`` call.
+    """
+    _require(count >= 0, "count must be non-negative")
+    _require(max_depth >= 3, "max_depth must be >= 3")
+    pool = graph.num_vertices if max_anchor_id is None else max_anchor_id
+    _require(0 < pool <= graph.num_vertices, "invalid anchor pool")
+    _require(count < pool, "anchor pool too small for this many branches")
+    rng = np.random.default_rng(seed)
+    builder = _copy_edges(graph)
+    anchors = np.argsort(graph.degrees[:pool], kind="stable")
+    next_id = graph.num_vertices
+    for i in range(count):
+        depth = int(rng.integers(3, max_depth + 1))
+        prev = int(anchors[1 + i])
+        for _ in range(depth):
+            builder.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Deterministic toys
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices (diameter n-1)."""
+    _require(n >= 1, "n must be >= 1")
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges((i, i + 1) for i in range(n - 1))
+    return builder.build()
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n`` vertices (all eccentricities = floor(n/2))."""
+    _require(n >= 3, "n must be >= 3")
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges((i, (i + 1) % n) for i in range(n))
+    return builder.build()
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one hub (vertex 0) and ``n - 1`` leaves."""
+    _require(n >= 2, "n must be >= 2")
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges((0, i) for i in range(1, n))
+    return builder.build()
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph (all eccentricities = 1 for n >= 2)."""
+    _require(n >= 1, "n must be >= 1")
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges((u, v) for u in range(n) for v in range(u + 1, n))
+    return builder.build()
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2-D grid; vertex ``(r, c)`` has id ``r * cols + c``."""
+    _require(rows >= 1 and cols >= 1, "rows and cols must be >= 1")
+    builder = GraphBuilder(num_vertices=rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                builder.add_edge(v, v + 1)
+            if r + 1 < rows:
+                builder.add_edge(v, v + cols)
+    return builder.build()
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (root id 0)."""
+    _require(branching >= 1, "branching must be >= 1")
+    _require(height >= 0, "height must be >= 0")
+    builder = GraphBuilder()
+    if height == 0:
+        return GraphBuilder(num_vertices=1).build()
+    next_id = 1
+    frontier = [0]
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                builder.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return builder.build()
+
+
+def paper_example_graph() -> Graph:
+    """The 13-node running example of Figure 1.
+
+    Node ids are 0-based: paper vertex ``v_i`` is id ``i - 1``.  The edge
+    set is reverse-engineered so that every quantity the paper states about
+    the example holds:
+
+    * 13 nodes and 15 edges, radius 3, diameter 5 (Examples 2.1, 2.3);
+    * deg(v10) = 2 and dist(v10, v12) = 2 (Example 2.1);
+    * ecc(v10) = 4 with farthest node v1 at dist(v1, v10) = 4 (Example 2.3);
+    * v13 and v7 are the two highest-degree vertices (Example 3.2);
+    * the FFOs of Figure 2: L^{v13} = <v1, v2, v3, ..., v13> (distances
+      4, 3, 2, 2, 2, 2, 1, ..., 0) and L^{v7} = <v1, v2, v3, v8, v9, v10,
+      v11, v12, v4, v5, v6, v13, v7> (distances 4, 3, 2, 2, ..., 1, 1, 0);
+    * ecc(v13) = 4 and the layer structure of Example 5.2: S1 = {v7..v12},
+      S2 = {v3, v4, v5, v6}, S3 = {v2}, S4 = {v1};
+    * dist(v9, v13) = 1, dist(v1, v9) = 3 and ecc(v9) = 3 so the probe
+      trace of Example 3.4 (bounds 3/5 -> 3/4 -> 3/3) replays exactly;
+    * the reference territories of Example 4.6: V^{v13} = {v1, v2, v3, v8,
+      v9, v10, v11, v12} and V^{v7} = {v4, v5, v6} (ties go to v13, the
+      higher-degree reference).
+    """
+    edges_1based = [
+        (1, 2),        # v1 - v2: the tendril realising layers S4 and S3
+        (2, 3),        # v2 - v3
+        (3, 9),        # v3 reaches the hub v13 through v9
+        (3, 4),        # ... and the v7 cluster through v4
+        (4, 7),        # v4, v5, v6 cluster on hub v7
+        (5, 7),
+        (6, 7),
+        (4, 5),
+        (9, 10),       # gives dist(v1, v10) = 4 while keeping deg(v10) = 2
+        (7, 13),       # hub - hub edge
+        (8, 13),       # v8..v12 form layer 1 around v13
+        (9, 13),
+        (10, 13),
+        (11, 13),
+        (12, 13),
+    ]
+    builder = GraphBuilder(num_vertices=13)
+    builder.add_edges((u - 1, v - 1) for u, v in edges_1based)
+    return builder.build()

@@ -1,0 +1,178 @@
+"""Graph serialization: edge-list text files and compact ``.npz`` CSR dumps.
+
+The paper's datasets ship as edge lists (SNAP / KONECT / LAW formats all
+reduce to "one edge per line, optional comment lines").  We read that
+format, plus a binary ``.npz`` round-trip for caching generated stand-in
+graphs between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+    "parse_edge_lines",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: Characters that begin a comment line in SNAP/KONECT edge lists.
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def parse_edge_lines(lines: Iterable[str]) -> Iterator[Tuple[int, int]]:
+    """Parse ``(u, v)`` pairs from text lines.
+
+    Comment lines (``#``, ``%``, ``//``) and blank lines are skipped.
+    Separators may be spaces, tabs, or commas.  Extra columns (weights,
+    timestamps — KONECT files carry them) are ignored.
+    """
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) < 2:
+            raise GraphConstructionError(
+                f"line {lineno}: expected at least two columns, got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphConstructionError(
+                f"line {lineno}: non-integer vertex id in {line!r}"
+            ) from exc
+        yield u, v
+
+
+def read_edge_list(
+    path_or_file: Union[PathLike, io.TextIOBase],
+    num_vertices: int | None = None,
+) -> Graph:
+    """Read a graph from an edge-list file or open text handle.
+
+    Vertex ids must be non-negative integers; they are used as-is (no
+    relabelling), so files with sparse id spaces produce isolated vertices.
+    """
+    builder = GraphBuilder(num_vertices=num_vertices)
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            builder.add_edges(parse_edge_lines(handle))
+    else:
+        builder.add_edges(parse_edge_lines(path_or_file))
+    return builder.build()
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write each undirected edge once as ``u v`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_metis(path: PathLike) -> Graph:
+    """Read a graph in METIS format.
+
+    METIS files start with a header line ``n m [fmt]`` followed by one
+    line per vertex listing its (1-based) neighbors.  Comment lines
+    start with ``%``.  Only the plain unweighted format (``fmt`` absent
+    or ``0``) is supported.
+    """
+    builder = GraphBuilder()
+    header = None
+    vertex = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            if header is None:
+                parts = line.split()
+                if len(parts) < 2:
+                    raise GraphConstructionError(
+                        "METIS header must be 'n m [fmt]'"
+                    )
+                if len(parts) >= 3 and parts[2] not in ("0", "00", "000"):
+                    raise GraphConstructionError(
+                        f"unsupported METIS format code {parts[2]!r} "
+                        "(only unweighted graphs)"
+                    )
+                header = (int(parts[0]), int(parts[1]))
+                continue
+            for token in line.split():
+                neighbor = int(token) - 1  # METIS ids are 1-based
+                if neighbor < 0:
+                    raise GraphConstructionError(
+                        f"vertex line {vertex + 1}: bad neighbor {token}"
+                    )
+                builder.add_edge(vertex, neighbor)
+            vertex += 1
+    if header is None:
+        raise GraphConstructionError(f"{path}: empty METIS file")
+    n, m = header
+    if vertex > n:
+        raise GraphConstructionError(
+            f"{path}: {vertex} vertex lines exceed declared n={n}"
+        )
+    graph = GraphBuilder(num_vertices=n)
+    built = builder.build()
+    if built.num_vertices > n:
+        raise GraphConstructionError(
+            f"{path}: neighbor id exceeds declared n={n}"
+        )
+    # Rebuild with the declared vertex count (isolated tail vertices).
+    graph.add_edges(built.edges())
+    out = graph.build()
+    if out.num_edges != m:
+        raise GraphConstructionError(
+            f"{path}: found {out.num_edges} edges, header declares {m}"
+        )
+    return out
+
+
+def write_metis(graph: Graph, path: PathLike, comment: str = "") -> None:
+    """Write a graph in METIS format (1-based adjacency lines)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            handle.write(
+                " ".join(str(u + 1) for u in graph.neighbors(v)) + "\n"
+            )
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Save the CSR arrays in compressed ``.npz`` form."""
+    np.savez_compressed(
+        Path(path), indptr=graph.indptr, indices=graph.indices
+    )
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise GraphConstructionError(
+                f"{path}: not a graph archive (missing indptr/indices)"
+            )
+        return Graph(data["indptr"], data["indices"])

@@ -1,0 +1,115 @@
+"""Whole-graph properties: degrees, eccentricity oracle, radius, diameter.
+
+The functions here are deliberately simple reference implementations used
+as correctness oracles by the test suite and as inputs to the dataset
+registry (Table 3 reports ``n``, ``m``, radius ``r`` and diameter ``d`` for
+each graph).  The *fast* eccentricity computation lives in
+:mod:`repro.core.ifecc`; this module is the ground truth it is checked
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.components import connected_components
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    UNREACHED,
+    BFSCounter,
+    bfs_distances,
+    eccentricity_and_distances,
+)
+
+__all__ = [
+    "GraphSummary",
+    "exact_eccentricities",
+    "radius_and_diameter",
+    "summarize",
+    "degree_statistics",
+]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Table 3-style dataset summary row."""
+
+    num_vertices: int
+    num_edges: int
+    radius: int
+    diameter: int
+    max_degree: int
+    average_degree: float
+    num_components: int
+
+    def as_row(self, name: str = "") -> str:
+        """Render in the layout of the paper's Table 3."""
+        return (
+            f"{name:<10} n={self.num_vertices:<10} m={self.num_edges:<12} "
+            f"r={self.radius:<4} d={self.diameter:<4}"
+        )
+
+
+def exact_eccentricities(
+    graph: Graph,
+    counter: Optional[BFSCounter] = None,
+    require_connected: bool = True,
+) -> np.ndarray:
+    """Exact eccentricity of every vertex by |V| BFS runs (the oracle).
+
+    Quadratic time; intended for tests and small graphs.  With
+    ``require_connected=False``, eccentricities are taken within each
+    vertex's component.
+    """
+    n = graph.num_vertices
+    ecc = np.zeros(n, dtype=np.int32)
+    for v in range(n):
+        ecc_v, dist = eccentricity_and_distances(graph, v, counter=counter)
+        if require_connected and np.any(dist == UNREACHED) and n > 1:
+            raise DisconnectedGraphError(
+                connected_components(graph).num_components
+            )
+        ecc[v] = ecc_v
+    return ecc
+
+
+def radius_and_diameter(eccentricities: np.ndarray) -> tuple:
+    """Radius (min ecc) and diameter (max ecc) from an ED array."""
+    if len(eccentricities) == 0:
+        return 0, 0
+    return int(eccentricities.min()), int(eccentricities.max())
+
+
+def summarize(graph: Graph, eccentricities: Optional[np.ndarray] = None) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (runs the oracle when no ED given)."""
+    labelling = connected_components(graph)
+    if eccentricities is None:
+        eccentricities = exact_eccentricities(graph, require_connected=False)
+    radius, diameter = radius_and_diameter(eccentricities)
+    degrees = graph.degrees
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        radius=radius,
+        diameter=diameter,
+        max_degree=int(degrees.max()) if len(degrees) else 0,
+        average_degree=float(degrees.mean()) if len(degrees) else 0.0,
+        num_components=labelling.num_components,
+    )
+
+
+def degree_statistics(graph: Graph) -> dict:
+    """Degree distribution summary used by generator calibration tests."""
+    degrees = graph.degrees
+    if len(degrees) == 0:
+        return {"min": 0, "max": 0, "mean": 0.0, "median": 0.0}
+    return {
+        "min": int(degrees.min()),
+        "max": int(degrees.max()),
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+    }

@@ -1,0 +1,255 @@
+"""Breadth-first-search engine.
+
+Every algorithm in the paper — IFECC, kIFECC, PLLECC, BoundECC, kBFS, the
+naive |V|-BFS baseline and SNAP's diameter estimator — reduces to a sequence
+of single-source BFS computations on an unweighted graph.  This module
+provides that primitive once, vectorised with numpy so that the level-
+synchronous frontier expansion touches each edge with array operations
+instead of Python-level loops.
+
+The central entry points are:
+
+:func:`bfs_distances`
+    distances from one source to every vertex (``-1`` for unreachable).
+:func:`eccentricity`
+    the eccentricity of one vertex (max finite BFS distance).
+:func:`multi_source_bfs`
+    distance to the *nearest* of a set of sources, plus which source —
+    used to assign each vertex to its closest reference node
+    (Algorithm 2, line 6).
+:class:`BFSCounter`
+    a cost meter shared by the benchmark harness; algorithms report their
+    work in "number of BFS runs", the cost unit the paper uses when
+    comparing approximate algorithms (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidVertexError
+from repro.graph.csr import Graph
+
+__all__ = [
+    "UNREACHED",
+    "BFSCounter",
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "eccentricity",
+    "eccentricity_and_distances",
+    "multi_source_bfs",
+    "all_pairs_distances",
+]
+
+#: Sentinel distance for vertices not reached by a traversal.
+UNREACHED = np.int32(-1)
+
+
+@dataclass
+class BFSCounter:
+    """Counts traversal work for cost accounting.
+
+    The paper compares approximate algorithms "under the same number of
+    BFSs" (Section 7.3) and reports exact algorithms by BFS count in the
+    case study (Section 7.5); benchmarks thread one counter through an
+    algorithm run to recover those numbers.
+    """
+
+    bfs_runs: int = 0
+    edges_scanned: int = 0
+    vertices_visited: int = 0
+    history: list = field(default_factory=list)
+
+    def record(self, edges: int, vertices: int, label: str = "") -> None:
+        """Record one completed BFS."""
+        self.bfs_runs += 1
+        self.edges_scanned += edges
+        self.vertices_visited += vertices
+        if label:
+            self.history.append(label)
+
+    def merge(self, other: "BFSCounter") -> None:
+        """Fold another counter's totals into this one."""
+        self.bfs_runs += other.bfs_runs
+        self.edges_scanned += other.edges_scanned
+        self.vertices_visited += other.vertices_visited
+        self.history.extend(other.history)
+
+
+def _expand_frontier(graph: Graph, frontier: np.ndarray) -> np.ndarray:
+    """Concatenated neighbor ids of all frontier vertices (with duplicates)."""
+    indptr = graph.indptr
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int32)
+    # Positions into `indices`: for frontier vertex i the slice
+    # [starts[i], starts[i] + counts[i]) is laid out contiguously in `out`.
+    csum = np.cumsum(counts)
+    offsets = np.repeat(starts - (csum - counts), counts)
+    positions = np.arange(total, dtype=np.int64) + offsets
+    return graph.indices[positions]
+
+
+def bfs_distances(
+    graph: Graph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> np.ndarray:
+    """Distances from ``source`` to all vertices.
+
+    Returns an ``int32`` array of length ``n`` with ``UNREACHED`` (-1) for
+    vertices in other components.  Runs in ``O(m + n)`` time and space.
+    """
+    return bfs_distances_bounded(graph, source, limit=None, counter=counter)
+
+
+def bfs_distances_bounded(
+    graph: Graph,
+    source: int,
+    limit: Optional[int] = None,
+    counter: Optional[BFSCounter] = None,
+) -> np.ndarray:
+    """Distances from ``source``, optionally truncated at depth ``limit``.
+
+    Vertices farther than ``limit`` keep distance ``UNREACHED``.  A ``None``
+    limit performs a full BFS.
+    """
+    if limit is not None and limit < 0:
+        from repro.errors import InvalidParameterError
+
+        raise InvalidParameterError("limit must be non-negative")
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise InvalidVertexError(source, n)
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    edges = 0
+    visited = 1
+    while frontier.size:
+        if limit is not None and level >= limit:
+            break
+        neighbors = _expand_frontier(graph, frontier)
+        edges += len(neighbors)
+        if len(neighbors) == 0:
+            break
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        level += 1
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+        visited += len(frontier)
+    if counter is not None:
+        counter.record(edges, visited, label=f"bfs:{source}")
+    return dist
+
+
+def eccentricity(
+    graph: Graph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> int:
+    """Eccentricity of ``source`` within its connected component."""
+    ecc, _dist = eccentricity_and_distances(graph, source, counter=counter)
+    return ecc
+
+
+def eccentricity_and_distances(
+    graph: Graph,
+    source: int,
+    counter: Optional[BFSCounter] = None,
+) -> Tuple[int, np.ndarray]:
+    """Eccentricity of ``source`` together with its distance vector.
+
+    The eccentricity is taken over the reachable vertices only, matching
+    the paper's connected-graph convention (footnote 2).
+    """
+    dist = bfs_distances(graph, source, counter=counter)
+    reachable = dist[dist != UNREACHED]
+    return int(reachable.max()) if len(reachable) else 0, dist
+
+
+def multi_source_bfs(
+    graph: Graph,
+    sources: Sequence[int],
+    counter: Optional[BFSCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-source distances and the winning source for each vertex.
+
+    Returns ``(dist, owner)`` where ``dist[v]`` is the distance from ``v``
+    to its closest source and ``owner[v]`` that source's id (``-1`` when
+    unreachable).  Ties are broken in favour of the source that appears
+    first in ``sources`` (and for equal waves, the one with the smaller
+    position), which makes reference-territory assignment deterministic.
+
+    This is a single level-synchronous sweep, i.e. one BFS worth of work
+    regardless of ``len(sources)``.
+    """
+    n = graph.num_vertices
+    src = np.asarray(list(sources), dtype=np.int64)
+    if len(src) == 0:
+        return (
+            np.full(n, UNREACHED, dtype=np.int32),
+            np.full(n, -1, dtype=np.int32),
+        )
+    for s in src:
+        if not 0 <= s < n:
+            raise InvalidVertexError(int(s), n)
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    owner = np.full(n, -1, dtype=np.int32)
+    # priority[s] = position of source s in `sources` (earlier wins ties).
+    priority = np.full(n, n, dtype=np.int64)
+    for pos, s in enumerate(src):
+        if priority[s] == n:
+            priority[s] = pos
+            dist[s] = 0
+            owner[s] = s
+    frontier = np.unique(src)
+    level = 0
+    edges = 0
+    while frontier.size:
+        neighbors = _expand_frontier(graph, frontier)
+        edges += len(neighbors)
+        if len(neighbors) == 0:
+            break
+        # Propagate owners: expand per-frontier-vertex so each neighbor
+        # inherits the owner of the frontier vertex that discovered it.
+        indptr = graph.indptr
+        counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+        owners_expanded = np.repeat(owner[frontier], counts)
+        unseen = dist[neighbors] == UNREACHED
+        fresh = neighbors[unseen]
+        fresh_owner = owners_expanded[unseen]
+        if len(fresh) == 0:
+            break
+        level += 1
+        # Among duplicate discoveries of the same vertex, the owner with
+        # the best (smallest) source priority wins the tie.
+        rank = np.lexsort((priority[fresh_owner], fresh))
+        uniq, first_idx = np.unique(fresh[rank], return_index=True)
+        dist[uniq] = level
+        owner[uniq] = fresh_owner[rank[first_idx]]
+        frontier = uniq.astype(np.int64)
+    if counter is not None:
+        counter.record(edges, int(np.count_nonzero(dist != UNREACHED)))
+    return dist, owner
+
+
+def all_pairs_distances(
+    graph: Graph,
+    counter: Optional[BFSCounter] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(v, distances-from-v)`` for every vertex.
+
+    This is the quadratic-time oracle; use only on small graphs (tests,
+    the naive baseline, and Table 2 reproduction).
+    """
+    for v in range(graph.num_vertices):
+        yield v, bfs_distances(graph, v, counter=counter)

@@ -1,0 +1,70 @@
+"""Persistence for PLL indexes.
+
+PLLECC's index is expensive to build (it dominates the pipeline —
+Figure 8), so a production deployment builds it once and reuses it.
+The format packs all labels into three flat arrays (``indptr``,
+``hubs``, ``dists``) inside a compressed ``.npz``; loading restores the
+per-vertex views without copying.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.pll.index import PLLIndex
+
+__all__ = ["save_index", "load_index"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_index(index: PLLIndex, path: PathLike) -> None:
+    """Write a PLL index to ``path`` (``.npz``)."""
+    n = index.num_vertices
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    hub_chunks = []
+    dist_chunks = []
+    for v in range(n):
+        hubs, dists = index.label_of(v)
+        indptr[v + 1] = indptr[v] + len(hubs)
+        hub_chunks.append(hubs)
+        dist_chunks.append(dists)
+    hubs_flat = (
+        np.concatenate(hub_chunks) if hub_chunks else np.empty(0, np.int32)
+    )
+    dists_flat = (
+        np.concatenate(dist_chunks) if dist_chunks else np.empty(0, np.int32)
+    )
+    np.savez_compressed(
+        Path(path),
+        indptr=indptr,
+        hubs=hubs_flat,
+        dists=dists_flat,
+        ordering=np.asarray([index.ordering]),
+    )
+
+
+def load_index(path: PathLike) -> PLLIndex:
+    """Load an index written by :func:`save_index`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        for key in ("indptr", "hubs", "dists"):
+            if key not in data:
+                raise GraphConstructionError(
+                    f"{path}: not a PLL index archive (missing {key!r})"
+                )
+        indptr = data["indptr"]
+        hubs_flat = data["hubs"]
+        dists_flat = data["dists"]
+        ordering = str(data["ordering"][0]) if "ordering" in data else "degree"
+    hubs = [
+        hubs_flat[indptr[v]: indptr[v + 1]] for v in range(len(indptr) - 1)
+    ]
+    dists = [
+        dists_flat[indptr[v]: indptr[v + 1]] for v in range(len(indptr) - 1)
+    ]
+    return PLLIndex(hubs, dists, ordering=ordering)

@@ -1,0 +1,23 @@
+"""Weighted-graph extension: IFECC over Dijkstra distances.
+
+The paper's bounds are triangle inequalities, valid for any
+non-negative edge-weight metric; this subpackage carries the algorithm
+over (see DESIGN.md §6 — extensions)."""
+
+from repro.weighted.dijkstra import (
+    dijkstra_distances,
+    weighted_eccentricity_and_distances,
+)
+from repro.weighted.eccentricity import (
+    naive_weighted_eccentricities,
+    weighted_eccentricities,
+)
+from repro.weighted.graph import WeightedGraph
+
+__all__ = [
+    "WeightedGraph",
+    "dijkstra_distances",
+    "weighted_eccentricity_and_distances",
+    "weighted_eccentricities",
+    "naive_weighted_eccentricities",
+]

@@ -1,0 +1,145 @@
+"""Unit tests for the centrality measures, cross-checked vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eccentricity_centrality,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from helpers import random_connected_graph
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestDegreeCentrality:
+    def test_star_hub(self):
+        c = degree_centrality(star_graph(5))
+        assert c[0] == 1.0
+        assert np.allclose(c[1:], 0.25)
+
+    def test_matches_networkx(self):
+        g = random_connected_graph(40, 30, seed=1)
+        ours = degree_centrality(g)
+        theirs = nx.degree_centrality(to_networkx(g))
+        np.testing.assert_allclose(
+            ours, [theirs[v] for v in range(40)]
+        )
+
+    def test_single_vertex(self):
+        assert degree_centrality(
+            Graph.from_edges([], num_vertices=1)
+        ).tolist() == [0.0]
+
+
+class TestClosenessCentrality:
+    def test_star_hub_highest(self):
+        c = closeness_centrality(star_graph(6))
+        assert c[0] == c.max()
+
+    def test_matches_networkx(self):
+        for seed in range(3):
+            g = random_connected_graph(45, 35, seed)
+            ours = closeness_centrality(g)
+            theirs = nx.closeness_centrality(to_networkx(g))
+            np.testing.assert_allclose(
+                ours, [theirs[v] for v in range(45)], rtol=1e-10
+            )
+
+    def test_disconnected_correction(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(to_networkx(g))
+        np.testing.assert_allclose(
+            ours, [theirs[v] for v in range(5)], rtol=1e-10
+        )
+
+    def test_path_center_highest(self):
+        c = closeness_centrality(path_graph(9))
+        assert int(np.argmax(c)) == 4
+
+
+class TestBetweennessCentrality:
+    def test_path_center_highest(self):
+        c = betweenness_centrality(path_graph(7))
+        assert int(np.argmax(c)) == 3
+        assert c[0] == 0.0
+
+    def test_star_hub_is_one(self):
+        c = betweenness_centrality(star_graph(6))
+        assert c[0] == pytest.approx(1.0)
+        assert np.allclose(c[1:], 0.0)
+
+    def test_cycle_uniform(self):
+        c = betweenness_centrality(cycle_graph(8))
+        assert np.allclose(c, c[0])
+
+    def test_matches_networkx(self):
+        for seed in range(3):
+            g = random_connected_graph(35, 30, seed)
+            ours = betweenness_centrality(g)
+            theirs = nx.betweenness_centrality(to_networkx(g))
+            np.testing.assert_allclose(
+                ours, [theirs[v] for v in range(35)], atol=1e-10
+            )
+
+    def test_unnormalized_matches_networkx(self):
+        g = grid_graph(4, 4)
+        ours = betweenness_centrality(g, normalized=False)
+        theirs = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        np.testing.assert_allclose(
+            ours, [theirs[v] for v in range(16)], atol=1e-10
+        )
+
+
+class TestEccentricityCentrality:
+    def test_inverse(self):
+        c = eccentricity_centrality(np.array([2, 4, 0]))
+        np.testing.assert_allclose(c, [0.5, 0.25, 0.0])
+
+    def test_center_highest(self, social_graph, social_truth):
+        c = eccentricity_centrality(social_truth)
+        assert int(np.argmax(c)) == int(np.argmin(social_truth))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            eccentricity_centrality(np.array([-1]))
+
+
+class TestCrossMeasure:
+    def test_high_degree_near_eccentricity_center(
+        self, social_graph, social_truth
+    ):
+        # Section 7.4's intuition: the highest-degree vertex is close to
+        # the eccentricity center.
+        hub = social_graph.max_degree_vertex()
+        assert social_truth[hub] <= social_truth.min() + 2
+
+    def test_rankings_correlate(self, social_graph, social_truth):
+        # closeness and eccentricity centralities agree broadly (top-10%
+        # overlap is substantial)
+        closeness = closeness_centrality(social_graph)
+        ecc_rank = set(
+            np.argsort(social_truth)[: len(social_truth) // 10].tolist()
+        )
+        close_rank = set(
+            np.argsort(-closeness)[: len(social_truth) // 10].tolist()
+        )
+        overlap = len(ecc_rank & close_rank) / max(1, len(ecc_rank))
+        assert overlap > 0.2

@@ -1,0 +1,66 @@
+"""Unit tests for anytime-convergence tracking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import ConvergenceCurve, track_convergence
+from repro.errors import InvalidParameterError
+
+
+class TestTrajectory:
+    def test_runs_to_exact(self, social_graph, social_truth):
+        curve = track_convergence(social_graph, truth=social_truth)
+        assert curve.final.resolved_fraction == 1.0
+        assert curve.final.accuracy_percent == 100.0
+        assert curve.final.total_gap == 0
+
+    def test_monotone(self, social_graph, social_truth):
+        curve = track_convergence(social_graph, truth=social_truth)
+        assert curve.is_monotone()
+
+    def test_budget_truncates(self, social_graph):
+        curve = track_convergence(social_graph, max_bfs=3)
+        assert curve.final.bfs_runs <= 3
+        assert len(curve) <= 3
+
+    def test_no_truth_no_accuracy(self, web_graph):
+        curve = track_convergence(web_graph, max_bfs=4)
+        assert all(p.accuracy_percent is None for p in curve.points)
+
+    def test_length_matches_bfs(self, web_graph):
+        curve = track_convergence(web_graph)
+        assert len(curve) == curve.final.bfs_runs
+
+    def test_gap_shrinks(self, lattice_graph):
+        curve = track_convergence(lattice_graph)
+        gaps = [p.total_gap for p in curve.points]
+        assert gaps[0] >= gaps[-1]
+        assert gaps[-1] == 0
+
+
+class TestQueries:
+    def test_bfs_to_fraction(self, social_graph):
+        curve = track_convergence(social_graph)
+        half = curve.bfs_to_fraction(0.5)
+        full = curve.bfs_to_fraction(1.0)
+        assert half is not None and full is not None
+        assert half <= full
+
+    def test_bfs_to_accuracy(self, social_graph, social_truth):
+        curve = track_convergence(social_graph, truth=social_truth)
+        assert curve.bfs_to_accuracy(90.0) <= curve.bfs_to_accuracy(100.0)
+
+    def test_unreached_fraction_none(self, social_graph):
+        curve = track_convergence(social_graph, max_bfs=1)
+        assert curve.bfs_to_fraction(1.0) is None
+
+    def test_as_rows(self, web_graph, web_truth):
+        curve = track_convergence(web_graph, truth=web_truth, max_bfs=3)
+        rows = curve.as_rows()
+        assert len(rows) == len(curve)
+        bfs, resolved, accuracy, gap = rows[0]
+        assert bfs >= 1 and 0 <= resolved <= 100
+
+    def test_empty_curve_final_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ConvergenceCurve().final

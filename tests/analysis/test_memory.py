@@ -1,0 +1,36 @@
+"""Unit tests for the Figure 10 memory accounting."""
+
+import pytest
+
+from repro.analysis.memory import ifecc_footprint, pllecc_footprint
+from repro.pll.index import build_pll_index
+
+
+class TestFootprints:
+    def test_ifecc_linear_in_graph(self, social_graph):
+        fp = ifecc_footprint(social_graph)
+        assert fp.index_bytes == 0
+        assert fp.graph_bytes == social_graph.memory_bytes()
+        assert fp.total_bytes < 10 * social_graph.memory_bytes()
+
+    def test_pllecc_includes_index(self, social_graph):
+        index = build_pll_index(social_graph)
+        fp = pllecc_footprint(social_graph, index)
+        assert fp.index_bytes == index.size_bytes()
+        assert fp.total_bytes > fp.graph_bytes
+
+    def test_pllecc_larger_than_ifecc(self, social_graph):
+        # Figure 10's headline: PLLECC needs far more memory.
+        index = build_pll_index(social_graph)
+        ratio = pllecc_footprint(social_graph, index).ratio_to(
+            ifecc_footprint(social_graph)
+        )
+        assert ratio > 1.0
+
+    def test_more_references_more_working_memory(self, social_graph):
+        one = ifecc_footprint(social_graph, num_references=1)
+        sixteen = ifecc_footprint(social_graph, num_references=16)
+        assert sixteen.working_bytes > one.working_bytes
+
+    def test_str(self, social_graph):
+        assert "MiB" in str(ifecc_footprint(social_graph))

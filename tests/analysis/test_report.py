@@ -1,0 +1,87 @@
+"""Unit tests for the one-call analysis report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import analyze
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.generators import paper_example_graph, star_graph
+
+
+class TestAnalyze:
+    def test_paper_example(self):
+        report = analyze(paper_example_graph())
+        assert report.radius == 3
+        assert report.diameter == 5
+        assert report.num_vertices == 13
+        assert report.num_edges == 15
+
+    def test_center_and_periphery(self, social_graph, social_truth):
+        report = analyze(social_graph)
+        assert np.all(social_truth[report.center_vertices] == report.radius)
+        assert np.all(
+            social_truth[report.peripheral_vertices] == report.diameter
+        )
+
+    def test_diameter_witness_length(self, social_graph):
+        report = analyze(social_graph)
+        assert len(report.diameter_witness) - 1 == report.diameter
+
+    def test_with_closeness(self):
+        report = analyze(star_graph(8), with_closeness=True)
+        assert report.top_closeness is not None
+        assert report.top_closeness[0][0] == 0  # hub leads
+
+    def test_top_degree_sorted(self, web_graph):
+        report = analyze(web_graph, top=4)
+        values = [c for _v, c in report.top_degree]
+        assert values == sorted(values, reverse=True)
+        assert len(report.top_degree) == 4
+
+    def test_f_sizes_consistent(self, social_graph):
+        from repro.core.stratify import stratify
+
+        report = analyze(social_graph)
+        strat = stratify(social_graph)
+        assert report.f1_size == len(strat.f1)
+        assert report.f2_size == len(strat.f2)
+
+    def test_single_vertex(self):
+        report = analyze(Graph.from_edges([], num_vertices=1))
+        assert report.radius == 0
+        assert report.diameter == 0
+        assert report.diameter_witness == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            analyze(Graph.from_edges([], num_vertices=0))
+
+
+class TestRender:
+    def test_render_sections(self, social_graph):
+        text = analyze(social_graph, with_closeness=True).render()
+        for needle in (
+            "radius",
+            "diameter",
+            "center:",
+            "eccentricity distribution:",
+            "top-degree vertices:",
+            "top-closeness vertices:",
+            "|F1|",
+        ):
+            assert needle in text
+
+    def test_render_without_closeness(self, web_graph):
+        text = analyze(web_graph).render()
+        assert "top-closeness" not in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_example_graph(), path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "radius 3, diameter 5" in out

@@ -1,0 +1,87 @@
+"""Unit tests for the Figure 5 / Figure 12 statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    farthest_set_statistics,
+    repetition_curve,
+    repetition_ratio,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.generators import core_periphery, star_graph
+
+
+class TestRepetitionRatio:
+    def test_ratio_in_unit_interval(self, social_graph):
+        point = repetition_ratio(social_graph, num=10, num_references=4)
+        assert 0.0 <= point.ratio <= 1.0
+
+    def test_common_subset_of_union(self, social_graph):
+        point = repetition_ratio(social_graph, num=10, num_references=4)
+        assert point.common <= point.union
+
+    def test_high_overlap_behind_deep_trap(self):
+        # The Figure 5 observation: FFO fronts of different references
+        # share most nodes (>94.5% on the paper's graphs).  The driver
+        # is a deep periphery region behind a cut vertex.
+        from repro.graph.generators import attach_deep_trap, barabasi_albert
+
+        g = attach_deep_trap(barabasi_albert(300, 3, seed=5), depth=18)
+        point = repetition_ratio(g, num=10, num_references=4)
+        assert point.ratio >= 0.9
+
+    def test_star_fronts_identical(self):
+        # On a star every reference sees the same far leaves.
+        point = repetition_ratio(star_graph(20), num=5, num_references=2)
+        assert point.ratio <= 1.0
+
+    def test_num_validation(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            repetition_ratio(social_graph, num=0)
+
+
+class TestRepetitionCurve:
+    def test_default_xs(self, social_graph):
+        points = repetition_curve(social_graph, num_references=4)
+        assert [p.num for p in points] == [5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+
+    def test_custom_xs(self, social_graph):
+        points = repetition_curve(social_graph, nums=(3, 6), num_references=2)
+        assert [p.num for p in points] == [3, 6]
+
+    def test_validation(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            repetition_curve(social_graph, nums=(0,))
+
+    def test_matches_pointwise(self, social_graph):
+        curve = repetition_curve(social_graph, nums=(7,), num_references=3)
+        point = repetition_ratio(social_graph, num=7, num_references=3)
+        assert curve[0].common == point.common
+        assert curve[0].union == point.union
+
+
+class TestFarthestSetStatistics:
+    def test_fields(self, social_graph):
+        stats = farthest_set_statistics(social_graph)
+        assert stats.num_vertices == social_graph.num_vertices
+        assert 0 <= stats.f2_size <= stats.f1_size <= stats.num_vertices
+
+    def test_fractions(self, social_graph):
+        stats = farthest_set_statistics(social_graph)
+        assert stats.f1_fraction == stats.f1_size / stats.num_vertices
+        assert stats.f2_fraction == stats.f2_size / stats.num_vertices
+
+    def test_figure12_shape(self, social_graph):
+        # |F1| ~ 0.1 n and |F2| << |F1| on small-world graphs.
+        stats = farthest_set_statistics(social_graph)
+        assert stats.f1_fraction < 0.5
+        assert stats.f2_fraction < stats.f1_fraction
+
+    def test_as_dict(self, social_graph):
+        d = farthest_set_statistics(social_graph).as_dict()
+        assert set(d) == {"n", "|F1|", "|F2|", "|F1|/n", "|F2|/n"}
+
+    def test_explicit_reference(self, example_graph):
+        stats = farthest_set_statistics(example_graph, reference=12)
+        assert stats.f1_size == 6
+        assert stats.f2_size == 2

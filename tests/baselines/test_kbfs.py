@@ -1,0 +1,80 @@
+"""Unit tests for the kBFS (Shun 2015) approximate baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kbfs import kbfs_eccentricities
+from repro.errors import InvalidParameterError
+from repro.graph.generators import path_graph
+
+
+class TestEstimates:
+    def test_lower_bound_estimate(self, social_graph, social_truth):
+        result = kbfs_eccentricities(social_graph, k=8, seed=1)
+        assert np.all(result.eccentricities <= social_truth)
+
+    def test_sampled_sources_exact(self, social_graph, social_truth):
+        result = kbfs_eccentricities(social_graph, k=8, seed=2)
+        for s in result.reference_nodes:
+            assert result.eccentricities[s] == social_truth[s]
+
+    def test_budget_respected(self, social_graph):
+        result = kbfs_eccentricities(social_graph, k=10, seed=0)
+        # k source BFS + one multi-source election sweep
+        assert result.num_bfs <= 10 + 1
+
+    def test_k_exceeding_n_clamped(self):
+        g = path_graph(5)
+        result = kbfs_eccentricities(g, k=100, seed=0)
+        assert result.num_bfs <= 5 + 1
+
+    def test_seed_changes_sample(self, social_graph):
+        a = kbfs_eccentricities(social_graph, k=4, seed=1)
+        b = kbfs_eccentricities(social_graph, k=4, seed=2)
+        assert sorted(a.reference_nodes.tolist()) != sorted(
+            b.reference_nodes.tolist()
+        )
+
+    def test_seeded_reproducible(self, social_graph):
+        a = kbfs_eccentricities(social_graph, k=4, seed=7)
+        b = kbfs_eccentricities(social_graph, k=4, seed=7)
+        np.testing.assert_array_equal(a.eccentricities, b.eccentricities)
+
+    def test_not_monotone_unlike_kifecc(self, web_graph, web_truth):
+        # kBFS resamples per k, so accuracy can drop as k grows — the
+        # instability of Figure 11.  We assert its accuracy *sequence*
+        # is not guaranteed monotone by checking independence of runs;
+        # monotonicity may happen by luck on one graph, so instead we
+        # check the defining property: the source sets of different k
+        # are not nested.
+        small = set(
+            kbfs_eccentricities(web_graph, k=4, seed=3).reference_nodes.tolist()
+        )
+        large = set(
+            kbfs_eccentricities(web_graph, k=8, seed=3).reference_nodes.tolist()
+        )
+        assert not small <= large
+
+    def test_election_targets_periphery(self, social_graph, social_truth):
+        # Elected sources should include high-eccentricity vertices.
+        result = kbfs_eccentricities(social_graph, k=10, seed=4)
+        sources_ecc = social_truth[result.reference_nodes]
+        assert sources_ecc.max() >= np.percentile(social_truth, 90)
+
+
+class TestValidation:
+    def test_k_zero_rejected(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            kbfs_eccentricities(social_graph, k=0)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.csr import Graph
+
+        with pytest.raises(InvalidParameterError):
+            kbfs_eccentricities(Graph.from_edges([], num_vertices=0), k=1)
+
+    def test_algorithm_tag(self, social_graph):
+        assert (
+            kbfs_eccentricities(social_graph, k=2, seed=0).algorithm
+            == "kBFS(k=2)"
+        )

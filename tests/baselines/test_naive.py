@@ -1,0 +1,35 @@
+"""Unit tests for the naive |V|-BFS baseline."""
+
+import numpy as np
+
+from repro.baselines.naive import naive_eccentricities
+from repro.graph.csr import Graph
+from repro.graph.generators import cycle_graph, path_graph
+
+
+class TestNaive:
+    def test_path(self):
+        result = naive_eccentricities(path_graph(5))
+        assert result.eccentricities.tolist() == [4, 3, 2, 3, 4]
+
+    def test_exactly_n_bfs(self):
+        g = cycle_graph(9)
+        result = naive_eccentricities(g)
+        assert result.num_bfs == 9
+
+    def test_matches_ifecc(self, social_graph):
+        from repro.core.ifecc import compute_eccentricities
+
+        naive = naive_eccentricities(social_graph)
+        fast = compute_eccentricities(social_graph)
+        np.testing.assert_array_equal(
+            naive.eccentricities, fast.eccentricities
+        )
+
+    def test_disconnected_within_component(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        result = naive_eccentricities(g)
+        assert result.eccentricities.tolist() == [1, 1, 2, 1, 2]
+
+    def test_marked_exact(self):
+        assert naive_eccentricities(path_graph(3)).exact

@@ -1,0 +1,76 @@
+"""Unit tests for the SNAP sampling diameter estimator (case study)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.snap_diameter import snap_estimate_diameter
+from repro.errors import InvalidParameterError
+from repro.graph.generators import path_graph
+
+
+class TestEstimator:
+    def test_underestimates_or_matches(self, social_graph, social_truth):
+        true_diameter = int(social_truth.max())
+        for seed in range(5):
+            estimate = snap_estimate_diameter(
+                social_graph, sample_size=10, seed=seed
+            )
+            assert estimate.diameter <= true_diameter
+
+    def test_full_sample_exact(self, social_graph, social_truth):
+        estimate = snap_estimate_diameter(
+            social_graph, sample_size=social_graph.num_vertices, seed=0
+        )
+        assert estimate.diameter == int(social_truth.max())
+
+    def test_sample_clamped_to_n(self):
+        g = path_graph(6)
+        estimate = snap_estimate_diameter(g, sample_size=100, seed=0)
+        assert estimate.sample_size == 6
+        assert estimate.diameter == 5
+
+    def test_accuracy_metric(self):
+        g = path_graph(11)  # diameter 10
+        estimate = snap_estimate_diameter(g, sample_size=11, seed=0)
+        assert estimate.accuracy_against(10) == 100.0
+
+    def test_accuracy_of_underestimate(self, social_graph, social_truth):
+        estimate = snap_estimate_diameter(social_graph, sample_size=5, seed=1)
+        acc = estimate.accuracy_against(int(social_truth.max()))
+        assert 0 < acc <= 100.0
+
+    def test_seeded_reproducible(self, social_graph):
+        a = snap_estimate_diameter(social_graph, sample_size=8, seed=9)
+        b = snap_estimate_diameter(social_graph, sample_size=8, seed=9)
+        assert a.diameter == b.diameter
+        np.testing.assert_array_equal(a.sources, b.sources)
+
+    def test_sources_distinct(self, social_graph):
+        estimate = snap_estimate_diameter(social_graph, sample_size=20, seed=2)
+        assert len(set(estimate.sources.tolist())) == 20
+
+    def test_small_samples_usually_miss_diameter(
+        self, social_graph, social_truth
+    ):
+        # Exp-3's argument: diameter-realising vertices are rare, so tiny
+        # uniform samples rarely hit the exact diameter.  With sample
+        # size 2 across many seeds, at least one run must miss.
+        true_diameter = int(social_truth.max())
+        hits = [
+            snap_estimate_diameter(social_graph, 2, seed=s).diameter
+            == true_diameter
+            for s in range(10)
+        ]
+        assert not all(hits)
+
+
+class TestValidation:
+    def test_zero_sample_rejected(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            snap_estimate_diameter(social_graph, sample_size=0)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.csr import Graph
+
+        with pytest.raises(InvalidParameterError):
+            snap_estimate_diameter(Graph.from_edges([], num_vertices=0))

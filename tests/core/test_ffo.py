@@ -1,0 +1,86 @@
+"""Unit tests for farthest-first node orders."""
+
+import numpy as np
+import pytest
+
+from repro.core.ffo import compute_ffo, farthest_first_order
+from repro.graph.csr import Graph
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.traversal import bfs_distances
+
+
+class TestOrdering:
+    def test_distances_non_increasing(self, social_graph):
+        ffo = compute_ffo(social_graph, 0)
+        dist = ffo.distances[ffo.order]
+        assert np.all(np.diff(dist) <= 0)
+
+    def test_source_is_last(self):
+        ffo = compute_ffo(path_graph(6), 2)
+        assert ffo.order[-1] == 2
+
+    def test_first_is_farthest(self):
+        ffo = compute_ffo(path_graph(6), 1)
+        assert ffo.order[0] == 5
+        assert ffo.eccentricity == 4
+
+    def test_ties_broken_by_id(self):
+        ffo = compute_ffo(star_graph(5), 0)
+        # all leaves at distance 1; ids ascending
+        assert ffo.order.tolist() == [1, 2, 3, 4, 0]
+
+    def test_covers_all_reachable(self, social_graph):
+        ffo = compute_ffo(social_graph, 3)
+        assert len(ffo) == social_graph.num_vertices
+        assert sorted(ffo.order.tolist()) == list(
+            range(social_graph.num_vertices)
+        )
+
+    def test_unreachable_excluded(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        ffo = compute_ffo(g, 0)
+        assert sorted(ffo.order.tolist()) == [0, 1]
+
+
+class TestPaperFigure2:
+    """The running example's FFOs as listed in Figure 2."""
+
+    def test_ffo_of_v13(self, example_graph):
+        ffo = compute_ffo(example_graph, 12)  # v13
+        assert ffo.eccentricity == 4
+        # L^{v13} = <v1, v2, v3, ..., v13>: ids ascending because the
+        # tie-break inside each layer is by id.
+        assert ffo.order.tolist() == list(range(13))
+
+    def test_ffo_of_v7(self, example_graph):
+        ffo = compute_ffo(example_graph, 6)  # v7
+        expected = [0, 1, 2, 7, 8, 9, 10, 11, 3, 4, 5, 12, 6]
+        # = <v1, v2, v3, v8, v9, v10, v11, v12, v4, v5, v6, v13, v7>
+        assert ffo.order.tolist() == expected
+
+
+class TestRankHelpers:
+    def test_distance_of_rank(self):
+        ffo = compute_ffo(path_graph(4), 0)
+        assert ffo.distance_of_rank(0) == 3
+        assert ffo.distance_of_rank(3) == 0
+
+    def test_distance_past_end_is_zero(self):
+        ffo = compute_ffo(path_graph(3), 0)
+        assert ffo.distance_of_rank(99) == 0
+
+    def test_prefix(self):
+        ffo = compute_ffo(path_graph(5), 0)
+        assert ffo.prefix(2).tolist() == [4, 3]
+
+    def test_len(self):
+        assert len(compute_ffo(path_graph(5), 0)) == 5
+
+
+class TestFromDistances:
+    def test_matches_compute(self, social_graph):
+        dist = bfs_distances(social_graph, 7)
+        built = farthest_first_order(dist, 7)
+        computed = compute_ffo(social_graph, 7)
+        np.testing.assert_array_equal(built.order, computed.order)
+        assert built.eccentricity == computed.eccentricity

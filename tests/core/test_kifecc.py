@@ -1,0 +1,147 @@
+"""Unit tests for kIFECC (Algorithm 3) — the anytime adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core.kifecc import approximate_eccentricities, kifecc_sweep
+from repro.core.stratify import stratify
+from repro.errors import InvalidParameterError
+
+
+class TestEstimates:
+    def test_estimate_is_lower_bound(self, social_graph, social_truth):
+        result = approximate_eccentricities(social_graph, k=4)
+        assert np.all(result.eccentricities <= social_truth)
+
+    def test_accuracy_grows_with_k(self, social_graph, social_truth):
+        previous = -1.0
+        for k in (1, 4, 16, 64):
+            result = approximate_eccentricities(social_graph, k=k)
+            acc = result.accuracy_against(social_truth)
+            assert acc >= previous
+            previous = acc
+
+    def test_converges_to_exact(self, social_graph, social_truth):
+        result = approximate_eccentricities(
+            social_graph, k=social_graph.num_vertices
+        )
+        assert result.exact
+        np.testing.assert_array_equal(result.eccentricities, social_truth)
+
+    def test_k_zero_reference_only(self, social_graph):
+        result = approximate_eccentricities(social_graph, k=0)
+        assert result.num_bfs == 1  # only the reference's own BFS
+
+    def test_f2_budget_usually_exact(self, social_graph, social_truth):
+        # Section 7.4: |F2| BFS runs computed all eccentricities exactly
+        # on 19 of 20 real graphs; our core-periphery stand-in behaves
+        # the same way.
+        strat = stratify(social_graph)
+        result = approximate_eccentricities(
+            social_graph, k=max(1, len(strat.f2))
+        )
+        accuracy = result.accuracy_against(social_truth)
+        assert accuracy >= 99.0
+
+    def test_algorithm_tag(self, social_graph):
+        assert (
+            approximate_eccentricities(social_graph, k=3).algorithm
+            == "kIFECC(k=3)"
+        )
+
+    def test_negative_k_rejected(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            approximate_eccentricities(social_graph, k=-1)
+
+    def test_bounds_sandwich_truth(self, web_graph, web_truth):
+        result = approximate_eccentricities(web_graph, k=5)
+        assert np.all(result.lower <= web_truth)
+        assert np.all(
+            result.upper.astype(np.int64) >= web_truth.astype(np.int64)
+        )
+
+
+class TestSweep:
+    def test_accuracies_monotone(self, social_graph, social_truth):
+        entries = kifecc_sweep(
+            social_graph, [2, 4, 8, 16, 32], truth=social_truth
+        )
+        accs = [e["accuracy"] for e in entries]
+        assert accs == sorted(accs)
+
+    def test_sweep_matches_individual_runs(self, web_graph, web_truth):
+        sweep = kifecc_sweep(web_graph, [3, 9], truth=web_truth)
+        for entry in sweep:
+            separate = approximate_eccentricities(web_graph, k=entry["k"])
+            np.testing.assert_array_equal(
+                entry["result"].eccentricities, separate.eccentricities
+            )
+
+    def test_sweep_single_engine_cost(self, social_graph):
+        entries = kifecc_sweep(social_graph, [2, 4, 8])
+        # Total BFS cost is the largest budget, not the sum.
+        assert entries[-1]["result"].num_bfs <= 8 + 1
+
+    def test_sweep_sorts_and_dedupes(self, social_graph):
+        entries = kifecc_sweep(social_graph, [8, 2, 8])
+        assert [e["k"] for e in entries] == [2, 8]
+
+    def test_negative_sizes_rejected(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            kifecc_sweep(social_graph, [4, -2])
+
+    def test_without_truth_no_accuracy_key(self, social_graph):
+        entries = kifecc_sweep(social_graph, [2])
+        assert "accuracy" not in entries[0]
+
+
+class TestEstimatorVariants:
+    def test_upper_estimator_is_upper_bound(self, social_graph, social_truth):
+        result = approximate_eccentricities(
+            social_graph, k=4, estimator="upper"
+        )
+        assert np.all(result.eccentricities >= social_truth)
+
+    def test_midpoint_between_bounds(self, social_graph):
+        result = approximate_eccentricities(
+            social_graph, k=4, estimator="midpoint"
+        )
+        assert np.all(result.eccentricities >= result.lower)
+        assert np.all(
+            result.eccentricities.astype(np.int64)
+            <= result.upper.astype(np.int64)
+        )
+
+    def test_midpoint_tighter_worst_case(self, social_graph, social_truth):
+        lower = approximate_eccentricities(social_graph, k=2)
+        mid = approximate_eccentricities(
+            social_graph, k=2, estimator="midpoint"
+        )
+        err_lower = np.abs(
+            lower.eccentricities.astype(np.int64) - social_truth
+        ).max()
+        err_mid = np.abs(
+            mid.eccentricities.astype(np.int64) - social_truth
+        ).max()
+        assert err_mid <= err_lower
+
+    def test_estimators_agree_when_exact(self, social_graph, social_truth):
+        for estimator in ("lower", "upper", "midpoint"):
+            result = approximate_eccentricities(
+                social_graph,
+                k=social_graph.num_vertices,
+                estimator=estimator,
+            )
+            np.testing.assert_array_equal(
+                result.eccentricities, social_truth
+            )
+
+    def test_tag_carries_estimator(self, social_graph):
+        result = approximate_eccentricities(
+            social_graph, k=2, estimator="midpoint"
+        )
+        assert result.algorithm == "kIFECC(k=2, midpoint)"
+
+    def test_unknown_estimator_rejected(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            approximate_eccentricities(social_graph, k=2, estimator="magic")

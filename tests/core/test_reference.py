@@ -1,0 +1,90 @@
+"""Unit tests for reference-node selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    STRATEGIES,
+    get_strategy,
+    highest_degree,
+    random_vertices,
+    two_sweep_pseudo_center,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.csr import Graph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestHighestDegree:
+    def test_star_hub_selected(self):
+        assert highest_degree(star_graph(6), 1).tolist() == [0]
+
+    def test_paper_example(self, example_graph):
+        # Example 3.2: Z = {v13, v7}
+        assert highest_degree(example_graph, 2).tolist() == [12, 6]
+
+    def test_count_clamped(self):
+        assert len(highest_degree(path_graph(3), 10)) == 3
+
+    def test_deterministic(self, social_graph):
+        a = highest_degree(social_graph, 4)
+        b = highest_degree(social_graph, 4, seed=99)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            highest_degree(path_graph(3), 0)
+
+
+class TestRandomVertices:
+    def test_distinct(self, social_graph):
+        picks = random_vertices(social_graph, 10, seed=1)
+        assert len(set(picks.tolist())) == 10
+
+    def test_seeded(self, social_graph):
+        a = random_vertices(social_graph, 5, seed=3)
+        b = random_vertices(social_graph, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_in_range(self, social_graph):
+        picks = random_vertices(social_graph, 8, seed=2)
+        assert picks.min() >= 0
+        assert picks.max() < social_graph.num_vertices
+
+
+class TestTwoSweepCenter:
+    def test_path_center(self):
+        # the center of a path is its midpoint
+        picks = two_sweep_pseudo_center(path_graph(9), 1)
+        assert picks.tolist() == [4]
+
+    def test_star_center(self):
+        assert two_sweep_pseudo_center(star_graph(7), 1).tolist() == [0]
+
+    def test_center_has_small_eccentricity(self, social_graph, social_truth):
+        center = int(two_sweep_pseudo_center(social_graph, 1)[0])
+        # pseudo-center should be well inside the radius neighborhood
+        assert social_truth[center] <= social_truth.min() + 2
+
+    def test_multiple_references(self, social_graph):
+        picks = two_sweep_pseudo_center(social_graph, 3)
+        assert len(picks) == 3
+        assert len(set(picks.tolist())) == 3
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_strategy("degree") is highest_degree
+        assert get_strategy("random") is random_vertices
+        assert get_strategy("center") is two_sweep_pseudo_center
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_strategy("mystery")
+
+    def test_all_strategies_return_valid_vertices(self, social_graph):
+        for name, strategy in STRATEGIES.items():
+            picks = strategy(social_graph, 2, 0)
+            assert len(picks) == 2, name
+            assert picks.min() >= 0
+            assert picks.max() < social_graph.num_vertices

@@ -1,0 +1,67 @@
+"""Unit tests for result objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import EccentricityResult, ProgressSnapshot
+
+
+def make_result(ecc, exact=True, algorithm="TEST"):
+    ecc = np.asarray(ecc, dtype=np.int32)
+    return EccentricityResult(
+        eccentricities=ecc,
+        lower=ecc.copy(),
+        upper=ecc.copy(),
+        exact=exact,
+        algorithm=algorithm,
+        num_bfs=3,
+        elapsed_seconds=0.5,
+    )
+
+
+class TestEccentricityResult:
+    def test_radius_diameter(self):
+        result = make_result([3, 4, 5])
+        assert result.radius == 3
+        assert result.diameter == 5
+
+    def test_empty(self):
+        result = make_result([])
+        assert result.radius == 0
+        assert result.diameter == 0
+        assert result.num_vertices == 0
+
+    def test_accuracy_perfect(self):
+        result = make_result([2, 2, 3])
+        assert result.accuracy_against(np.array([2, 2, 3])) == 100.0
+
+    def test_accuracy_partial(self):
+        result = make_result([2, 2, 3, 3])
+        assert result.accuracy_against(np.array([2, 2, 4, 4])) == 50.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            make_result([1, 2]).accuracy_against(np.array([1]))
+
+    def test_accuracy_empty_is_hundred(self):
+        assert make_result([]).accuracy_against(np.array([])) == 100.0
+
+    def test_repr_mentions_algorithm(self):
+        assert "TEST" in repr(make_result([1], algorithm="TEST"))
+
+    def test_repr_marks_approx(self):
+        assert "approx" in repr(make_result([1], exact=False))
+
+
+class TestProgressSnapshot:
+    def test_fraction(self):
+        snap = ProgressSnapshot(
+            bfs_runs=2, source=0, resolved=5, num_vertices=10
+        )
+        assert snap.fraction_resolved == 0.5
+
+    def test_fraction_empty_graph(self):
+        snap = ProgressSnapshot(
+            bfs_runs=0, source=0, resolved=0, num_vertices=0
+        )
+        assert snap.fraction_resolved == 1.0

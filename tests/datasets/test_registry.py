@@ -1,0 +1,85 @@
+"""Unit tests for the dataset registry (Table 3)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    get_spec,
+    paper_table3,
+)
+from repro.errors import DatasetNotFoundError
+
+
+class TestRegistryContents:
+    def test_twenty_datasets(self):
+        assert len(DATASETS) == 20
+
+    def test_twelve_small_eight_large(self):
+        assert len(dataset_names("small")) == 12
+        assert len(dataset_names("large")) == 8
+
+    def test_paper_order_preserved(self):
+        names = dataset_names()
+        assert names[0] == "DBLP"
+        assert names[-1] == "UKUN"
+        assert names[:3] == ["DBLP", "GP", "YOUT"]
+
+    def test_paper_m_increasing(self):
+        # Table 3 is sorted by edge count.
+        ms = [DATASETS[n].paper_m for n in dataset_names()]
+        assert ms == sorted(ms)
+
+    def test_known_paper_stats(self):
+        dblp = get_spec("DBLP")
+        assert dblp.paper_n == 317_080
+        assert dblp.paper_m == 1_049_866
+        assert dblp.paper_radius == 12
+        assert dblp.paper_diameter == 23
+        assert dblp.kind == "Social"
+        ukun = get_spec("UKUN")
+        assert ukun.paper_m == 4_653_174_411
+        assert ukun.paper_diameter == 257
+
+    def test_family_matches_kind(self):
+        # Social/internet/contact networks are heavy-tailed -> BA;
+        # web graphs use the copying model.
+        for spec in DATASETS.values():
+            expected = "copy" if spec.kind == "Web" else "ba"
+            assert spec.family == expected, spec.name
+
+    def test_periphery_style_matches_group(self):
+        for spec in DATASETS.values():
+            expected = "handles" if spec.group == "small" else "trap"
+            assert spec.periphery == expected, spec.name
+
+    def test_seeds_unique(self):
+        seeds = [s.seed for s in DATASETS.values()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_standin_sizes_ordered_by_group(self):
+        small_max = max(DATASETS[n].standin_n for n in dataset_names("small"))
+        large_min = min(DATASETS[n].standin_n for n in dataset_names("large"))
+        assert small_max < large_min
+
+
+class TestLookup:
+    def test_get_spec(self):
+        assert get_spec("TWIT").full_name == "Twitter"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetNotFoundError):
+            get_spec("NOPE")
+
+    def test_unknown_group(self):
+        with pytest.raises(DatasetNotFoundError):
+            dataset_names("medium")
+
+
+class TestTable3Export:
+    def test_rows(self):
+        rows = paper_table3()
+        assert len(rows) == 20
+        name, full, n, m, r, d, kind = rows[0]
+        assert (name, full) == ("DBLP", "DBLP")
+        assert (n, m, r, d, kind) == (317_080, 1_049_866, 12, 23, "Social")

@@ -1,0 +1,212 @@
+"""Tests for the directed-graph extension."""
+
+import numpy as np
+import pytest
+
+from repro.directed.eccentricity import (
+    directed_eccentricities,
+    naive_directed_eccentricities,
+)
+from repro.directed.graph import DirectedGraph
+from repro.directed.traversal import (
+    backward_bfs,
+    forward_bfs,
+    is_strongly_connected,
+)
+from repro.errors import (
+    DisconnectedGraphError,
+    GraphConstructionError,
+    InvalidVertexError,
+)
+from repro.graph.generators import cycle_graph
+from helpers import random_connected_graph
+
+
+def directed_cycle(n):
+    return DirectedGraph.from_arcs((i, (i + 1) % n) for i in range(n))
+
+
+def random_strongly_connected(n, extra, seed):
+    """A directed cycle over all vertices plus random extra arcs."""
+    rng = np.random.default_rng(seed)
+    arcs = [(i, (i + 1) % n) for i in range(n)]
+    for _ in range(extra):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            arcs.append((int(u), int(v)))
+    return DirectedGraph.from_arcs(arcs, num_vertices=n)
+
+
+class TestDirectedGraph:
+    def test_from_arcs(self):
+        g = DirectedGraph.from_arcs([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_arcs == 2
+
+    def test_direction_matters(self):
+        g = DirectedGraph.from_arcs([(0, 1)])
+        assert g.out_neighbors(0).tolist() == [1]
+        assert g.out_neighbors(1).tolist() == []
+        assert g.in_neighbors(1).tolist() == [0]
+
+    def test_duplicates_and_loops_dropped(self):
+        g = DirectedGraph.from_arcs([(0, 1), (0, 1), (1, 1)])
+        assert g.num_arcs == 1
+
+    def test_out_in_degrees(self):
+        g = directed_cycle(4)
+        assert g.out_degrees().tolist() == [1, 1, 1, 1]
+        assert g.in_degrees().tolist() == [1, 1, 1, 1]
+
+    def test_from_undirected(self):
+        g = DirectedGraph.from_undirected(cycle_graph(5))
+        assert g.num_arcs == 10  # each edge = two arcs
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            DirectedGraph.from_arcs([(0, 7)], num_vertices=3)
+
+    def test_invalid_vertex(self):
+        with pytest.raises(InvalidVertexError):
+            directed_cycle(3).out_neighbors(5)
+
+
+class TestTraversal:
+    def test_forward_respects_direction(self):
+        g = directed_cycle(5)
+        assert forward_bfs(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_backward_is_reverse(self):
+        g = directed_cycle(5)
+        assert backward_bfs(g, 0).tolist() == [0, 4, 3, 2, 1]
+
+    def test_forward_backward_duality(self):
+        g = random_strongly_connected(30, 40, seed=1)
+        for s in (0, 10, 29):
+            fwd = forward_bfs(g, s)
+            for t in (0, 15, 29):
+                assert fwd[t] == backward_bfs(g, t)[s]
+
+    def test_unreachable(self):
+        g = DirectedGraph.from_arcs([(0, 1)], num_vertices=3)
+        assert forward_bfs(g, 1)[0] == -1
+        assert forward_bfs(g, 0)[2] == -1
+
+    def test_strong_connectivity(self):
+        assert is_strongly_connected(directed_cycle(6))
+        assert not is_strongly_connected(
+            DirectedGraph.from_arcs([(0, 1), (1, 2)])
+        )
+
+    def test_single_vertex_strongly_connected(self):
+        assert is_strongly_connected(
+            DirectedGraph.from_arcs([], num_vertices=1)
+        )
+
+
+class TestDirectedEccentricities:
+    def test_cycle(self):
+        result = directed_eccentricities(directed_cycle(7))
+        # every vertex's farthest is its predecessor: distance 6
+        assert np.all(result.eccentricities == 6)
+
+    def test_matches_oracle_on_random_digraphs(self):
+        for seed in range(6):
+            g = random_strongly_connected(40, 60, seed)
+            truth = naive_directed_eccentricities(g)
+            result = directed_eccentricities(g)
+            np.testing.assert_array_equal(result.eccentricities, truth)
+
+    def test_undirected_lift_matches_undirected(self):
+        from repro.graph.properties import exact_eccentricities
+
+        base = random_connected_graph(40, 30, seed=3)
+        lifted = DirectedGraph.from_undirected(base)
+        result = directed_eccentricities(lifted)
+        np.testing.assert_array_equal(
+            result.eccentricities, exact_eccentricities(base)
+        )
+
+    def test_fewer_sources_than_naive(self):
+        g = random_strongly_connected(150, 400, seed=5)
+        result = directed_eccentricities(g)
+        # Each processed source costs 2 BFS (forward + backward); the
+        # number of *sources* must undercut the naive n.
+        assert result.num_bfs / 2 < g.num_vertices
+
+    def test_efficient_on_small_world_structure(self, social_graph):
+        # On a core-periphery graph the bounds close fast, directed or
+        # not: far fewer traversals than 2n.
+        lifted = DirectedGraph.from_undirected(social_graph)
+        result = directed_eccentricities(lifted)
+        assert result.num_bfs < social_graph.num_vertices
+
+    def test_not_strongly_connected_rejected(self):
+        g = DirectedGraph.from_arcs([(0, 1), (1, 2)])
+        with pytest.raises(DisconnectedGraphError):
+            directed_eccentricities(g)
+
+    def test_asymmetric_eccentricities(self):
+        # a cycle with a chord: forward ecc differs from what the
+        # undirected view would give
+        g = DirectedGraph.from_arcs(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        truth = naive_directed_eccentricities(g)
+        result = directed_eccentricities(g)
+        np.testing.assert_array_equal(result.eccentricities, truth)
+        assert truth[0] != truth[1] or truth[2] != truth[3]
+
+
+class TestDirectedIFECC:
+    def test_matches_oracle_on_random_digraphs(self):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+
+        for seed in range(6):
+            g = random_strongly_connected(40, 60, seed)
+            truth = naive_directed_eccentricities(g)
+            result = directed_ifecc_eccentricities(g)
+            np.testing.assert_array_equal(result.eccentricities, truth)
+
+    def test_cycle(self):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+
+        result = directed_ifecc_eccentricities(directed_cycle(9))
+        assert np.all(result.eccentricities == 8)
+
+    def test_undirected_lift_matches(self):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+        from repro.graph.properties import exact_eccentricities
+
+        base = random_connected_graph(50, 40, seed=8)
+        result = directed_ifecc_eccentricities(
+            DirectedGraph.from_undirected(base)
+        )
+        np.testing.assert_array_equal(
+            result.eccentricities, exact_eccentricities(base)
+        )
+
+    def test_beats_bound_propagation_on_handles(self, social_graph):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+
+        lifted = DirectedGraph.from_undirected(social_graph)
+        ifecc = directed_ifecc_eccentricities(lifted)
+        bound = directed_eccentricities(lifted)
+        np.testing.assert_array_equal(
+            ifecc.eccentricities, bound.eccentricities
+        )
+        assert ifecc.num_bfs < bound.num_bfs
+
+    def test_not_strongly_connected_rejected(self):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+        from repro.errors import DisconnectedGraphError
+
+        g = DirectedGraph.from_arcs([(0, 1), (1, 2)])
+        with pytest.raises(DisconnectedGraphError):
+            directed_ifecc_eccentricities(g)
+
+    def test_single_vertex(self):
+        from repro.directed.eccentricity import directed_ifecc_eccentricities
+
+        g = DirectedGraph.from_arcs([], num_vertices=1)
+        assert directed_ifecc_eccentricities(g).eccentricities.tolist() == [0]

@@ -1,0 +1,109 @@
+"""Unit tests for GraphBuilder input hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBasicBuild:
+    def test_single_edge(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_add_edges_iterable(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.num_pending_edges == 2
+        assert b.build().num_edges == 2
+
+    def test_add_edges_generator(self):
+        b = GraphBuilder()
+        b.add_edges((i, i + 1) for i in range(4))
+        assert b.build().num_edges == 4
+
+    def test_empty_build(self):
+        assert GraphBuilder().build().num_vertices == 0
+
+    def test_fixed_num_vertices(self):
+        b = GraphBuilder(num_vertices=10)
+        b.add_edge(0, 1)
+        assert b.build().num_vertices == 10
+
+
+class TestHygiene:
+    def test_self_loops_dropped(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 0), (0, 1), (1, 1)])
+        g = b.build()
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_collapsed(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (0, 1), (1, 0)])
+        assert b.build().num_edges == 1
+
+    def test_symmetrised(self):
+        b = GraphBuilder()
+        b.add_edge(3, 1)  # one direction only
+        g = b.build()
+        assert g.has_edge(1, 3) and g.has_edge(3, 1)
+
+    def test_neighbors_sorted_after_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 5), (0, 2), (0, 9)])
+        assert b.build().neighbors(0).tolist() == [2, 5, 9]
+
+
+class TestValidation:
+    def test_negative_vertex_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphConstructionError):
+            b.add_edge(-1, 0)
+
+    def test_out_of_range_rejected_with_fixed_n(self):
+        b = GraphBuilder(num_vertices=3)
+        with pytest.raises(GraphConstructionError):
+            b.add_edge(0, 3)
+
+    def test_negative_num_vertices(self):
+        with pytest.raises(GraphConstructionError):
+            GraphBuilder(num_vertices=-1)
+
+    def test_malformed_pairs(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphConstructionError):
+            b.add_edges([(0, 1, 2)])
+
+    def test_length_mismatch_arrays(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphConstructionError):
+            b.add_edge_arrays(np.array([0, 1]), np.array([1]))
+
+
+class TestVectorPath:
+    def test_add_edge_arrays(self):
+        b = GraphBuilder()
+        b.add_edge_arrays(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        g = b.build()
+        assert g.num_edges == 3
+        assert g.num_vertices == 4
+
+    def test_empty_arrays_noop(self):
+        b = GraphBuilder()
+        b.add_edge_arrays(np.empty(0), np.empty(0))
+        assert b.num_pending_edges == 0
+
+    def test_matches_scalar_path(self):
+        pairs = [(0, 3), (3, 1), (1, 2), (2, 0), (0, 1)]
+        b1 = GraphBuilder()
+        b1.add_edges(pairs)
+        b2 = GraphBuilder()
+        arr = np.array(pairs)
+        b2.add_edge_arrays(arr[:, 0], arr[:, 1])
+        assert b1.build() == b2.build()

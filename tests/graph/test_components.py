@@ -1,0 +1,158 @@
+"""Unit tests for connected-component utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+    split_components,
+)
+from repro.graph.csr import Graph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.properties import exact_eccentricities
+
+
+def two_components() -> Graph:
+    # component A: path 0-1-2; component B: triangle 3-4-5.
+    return Graph.from_edges([(0, 1), (1, 2), (3, 4), (4, 5), (3, 5)])
+
+
+class TestLabelling:
+    def test_connected_graph_single_label(self):
+        labelling = connected_components(cycle_graph(5))
+        assert labelling.num_components == 1
+        assert labelling.sizes.tolist() == [5]
+
+    def test_two_components(self):
+        labelling = connected_components(two_components())
+        assert labelling.num_components == 2
+        assert sorted(labelling.sizes.tolist()) == [3, 3]
+
+    def test_labels_partition(self):
+        labelling = connected_components(two_components())
+        assert labelling.labels[0] == labelling.labels[1] == labelling.labels[2]
+        assert labelling.labels[3] == labelling.labels[4] == labelling.labels[5]
+        assert labelling.labels[0] != labelling.labels[3]
+
+    def test_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=4)
+        labelling = connected_components(g)
+        assert labelling.num_components == 3
+
+    def test_largest_id(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        labelling = connected_components(g)
+        assert labelling.sizes[labelling.largest()] == 3
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(path_graph(4))
+
+    def test_disconnected(self):
+        assert not is_connected(two_components())
+
+    def test_single_vertex(self):
+        assert is_connected(Graph.from_edges([], num_vertices=1))
+
+    def test_empty(self):
+        assert is_connected(Graph.from_edges([], num_vertices=0))
+
+
+class TestLargestComponent:
+    def test_extracts_largest(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (2, 4)])
+        sub, ids = largest_connected_component(g)
+        assert sub.num_vertices == 3
+        assert sorted(ids.tolist()) == [2, 3, 4]
+
+    def test_subgraph_edges_preserved(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (2, 4)])
+        sub, ids = largest_connected_component(g)
+        # the triangle structure survives the remap
+        assert sub.num_edges == 3
+        assert all(sub.degree(v) == 2 for v in range(3))
+
+    def test_already_connected_identity_shape(self):
+        g = cycle_graph(6)
+        sub, ids = largest_connected_component(g)
+        assert sub == g
+        assert ids.tolist() == list(range(6))
+
+    def test_eccentricities_preserved_under_remap(self):
+        g = Graph.from_edges([(5, 6), (6, 7), (0, 1)])
+        sub, ids = largest_connected_component(g)
+        ecc = exact_eccentricities(sub)
+        assert sorted(ecc.tolist()) == [1, 2, 2]
+
+
+class TestSplitComponents:
+    def test_split_count(self):
+        parts = split_components(two_components())
+        assert len(parts) == 2
+
+    def test_largest_first(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        parts = split_components(g)
+        assert parts[0][0].num_vertices == 3
+        assert parts[1][0].num_vertices == 2
+
+    def test_ids_cover_all_vertices(self):
+        parts = split_components(two_components())
+        seen = np.concatenate([ids for _g, ids in parts])
+        assert sorted(seen.tolist()) == list(range(6))
+
+    def test_each_part_connected(self):
+        parts = split_components(two_components())
+        assert all(is_connected(g) for g, _ids in parts)
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        from repro.graph.components import induced_subgraph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub, ids = induced_subgraph(g, [0, 1, 2])
+        assert ids.tolist() == [0, 1, 2]
+        assert sub.num_edges == 2  # 0-1, 1-2 survive; 2-3, 3-0 dropped
+
+    def test_dedup_and_sort(self):
+        from repro.graph.components import induced_subgraph
+
+        g = cycle_graph(6)
+        sub, ids = induced_subgraph(g, [4, 2, 4, 0])
+        assert ids.tolist() == [0, 2, 4]
+
+    def test_preserves_internal_structure(self):
+        from repro.graph.components import induced_subgraph
+        from repro.graph.generators import complete_graph
+
+        g = complete_graph(6)
+        sub, _ids = induced_subgraph(g, [1, 3, 5])
+        assert sub.num_edges == 3  # the triangle survives
+
+    def test_empty_subset(self):
+        from repro.graph.components import induced_subgraph
+
+        sub, ids = induced_subgraph(cycle_graph(4), [])
+        assert sub.num_vertices == 0
+        assert len(ids) == 0
+
+    def test_out_of_range_rejected(self):
+        from repro.errors import InvalidVertexError
+        from repro.graph.components import induced_subgraph
+
+        with pytest.raises(InvalidVertexError):
+            induced_subgraph(cycle_graph(4), [0, 9])
+
+    def test_distances_preserved_on_closed_subset(self):
+        from repro.graph.components import induced_subgraph
+        from repro.graph.traversal import bfs_distances
+
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)])
+        sub, ids = induced_subgraph(g, [0, 1, 2])
+        np.testing.assert_array_equal(
+            bfs_distances(sub, 0), bfs_distances(g, 0)[ids]
+        )

@@ -1,0 +1,158 @@
+"""Unit tests for edge-list and npz graph I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import Graph
+from repro.graph.generators import grid_graph
+from repro.graph.io import (
+    load_npz,
+    parse_edge_lines,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestParseEdgeLines:
+    def test_basic(self):
+        assert list(parse_edge_lines(["0 1", "1 2"])) == [(0, 1), (1, 2)]
+
+    def test_comments_skipped(self):
+        lines = ["# snap header", "% konect", "// other", "0 1"]
+        assert list(parse_edge_lines(lines)) == [(0, 1)]
+
+    def test_blank_lines_skipped(self):
+        assert list(parse_edge_lines(["", "  ", "0 1"])) == [(0, 1)]
+
+    def test_tabs_and_commas(self):
+        assert list(parse_edge_lines(["0\t1", "2,3"])) == [(0, 1), (2, 3)]
+
+    def test_extra_columns_ignored(self):
+        assert list(parse_edge_lines(["0 1 42 2019"])) == [(0, 1)]
+
+    def test_single_column_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            list(parse_edge_lines(["7"]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            list(parse_edge_lines(["a b"]))
+
+
+class TestEdgeListRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = grid_graph(3, 4)
+        path = tmp_path / "grid.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_header_written_as_comment(self, tmp_path):
+        g = Graph.from_edges([(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="generated\nby test")
+        text = path.read_text()
+        assert text.startswith("# generated\n# by test\n")
+        assert read_edge_list(path) == g
+
+    def test_read_from_handle(self):
+        handle = io.StringIO("0 1\n1 2\n")
+        g = read_edge_list(handle)
+        assert g.num_edges == 2
+
+    def test_fixed_num_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=5)
+        assert g.num_vertices == 5
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = grid_graph(4, 4)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_bad_archive_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphConstructionError):
+            load_npz(path)
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path):
+        from repro.graph.io import read_metis, write_metis
+
+        g = grid_graph(4, 3)
+        path = tmp_path / "g.metis"
+        write_metis(g, path, comment="grid 4x3")
+        assert read_metis(path) == g
+
+    def test_header_and_ids_one_based(self, tmp_path):
+        from repro.graph.io import write_metis
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        lines = [
+            l for l in path.read_text().splitlines() if not l.startswith("%")
+        ]
+        assert lines[0] == "3 2"
+        assert lines[1] == "2"        # neighbors of vertex 1: vertex 2
+        assert lines[2] == "1 3"
+
+    def test_comments_skipped(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "g.metis"
+        path.write_text("% a comment\n3 2\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_isolated_tail_vertices(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "g.metis"
+        path.write_text("4 1\n2\n1\n\n\n")
+        g = read_metis(path)
+        assert g.num_vertices == 4
+        assert g.degree(3) == 0
+
+    def test_bad_header(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "bad.metis"
+        path.write_text("3\n")
+        with pytest.raises(GraphConstructionError):
+            read_metis(path)
+
+    def test_weighted_format_rejected(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "w.metis"
+        path.write_text("2 1 011\n2 5\n1 5\n")
+        with pytest.raises(GraphConstructionError):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "m.metis"
+        path.write_text("3 5\n2\n1 3\n2\n")
+        with pytest.raises(GraphConstructionError):
+            read_metis(path)
+
+    def test_empty_file(self, tmp_path):
+        from repro.graph.io import read_metis
+
+        path = tmp_path / "e.metis"
+        path.write_text("")
+        with pytest.raises(GraphConstructionError):
+            read_metis(path)

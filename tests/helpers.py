@@ -1,0 +1,26 @@
+"""Shared graph-building helpers importable from any test module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import Graph
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int) -> Graph:
+    """A random connected graph: random spanning tree + extra edges.
+
+    The tree guarantees connectivity; the extra edges add cycles.  Used
+    by unit tests and hypothesis strategies alike.
+    """
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    for v in range(1, n):
+        builder.add_edge(v, int(rng.integers(0, v)))
+    for _ in range(extra_edges):
+        u = int(rng.integers(0, n))
+        w = int(rng.integers(0, n))
+        if u != w:
+            builder.add_edge(u, w)
+    return builder.build()

@@ -1,0 +1,69 @@
+"""Unit tests for PLL vertex orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import star_graph
+from repro.pll.ordering import (
+    closeness_sketch_order,
+    degree_order,
+    get_order,
+    random_order,
+)
+
+
+class TestDegreeOrder:
+    def test_star_hub_first(self):
+        assert degree_order(star_graph(6))[0] == 0
+
+    def test_is_permutation(self, social_graph):
+        order = degree_order(social_graph)
+        assert sorted(order.tolist()) == list(range(social_graph.num_vertices))
+
+    def test_descending_degrees(self, social_graph):
+        order = degree_order(social_graph)
+        degrees = social_graph.degrees[order]
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_ties_by_id(self):
+        # all leaves of a star have degree 1: ids ascending after the hub
+        order = degree_order(star_graph(5))
+        assert order.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestRandomOrder:
+    def test_is_permutation(self, social_graph):
+        order = random_order(social_graph, seed=3)
+        assert sorted(order.tolist()) == list(range(social_graph.num_vertices))
+
+    def test_seeded(self, social_graph):
+        np.testing.assert_array_equal(
+            random_order(social_graph, seed=1), random_order(social_graph, seed=1)
+        )
+
+
+class TestClosenessOrder:
+    def test_is_permutation(self, social_graph):
+        order = closeness_sketch_order(social_graph, seed=2)
+        assert sorted(order.tolist()) == list(range(social_graph.num_vertices))
+
+    def test_star_hub_first(self):
+        assert closeness_sketch_order(star_graph(9), seed=0)[0] == 0
+
+    def test_empty_graph(self):
+        from repro.graph.csr import Graph
+
+        g = Graph.from_edges([], num_vertices=0)
+        assert len(closeness_sketch_order(g)) == 0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_order("degree") is degree_order
+        assert get_order("random") is random_order
+        assert get_order("closeness") is closeness_sketch_order
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_order("alphabetical")

@@ -1,0 +1,59 @@
+"""Unit tests for PLL index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.generators import grid_graph, star_graph
+from repro.graph.traversal import bfs_distances
+from repro.pll.index import build_pll_index
+from repro.pll.serialization import load_index, save_index
+
+
+class TestRoundTrip:
+    def test_queries_preserved(self, tmp_path, social_graph):
+        index = build_pll_index(social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            s, t = rng.integers(0, social_graph.num_vertices, size=2)
+            assert loaded.query(int(s), int(t)) == index.query(int(s), int(t))
+
+    def test_sizes_preserved(self, tmp_path):
+        index = build_pll_index(grid_graph(5, 5))
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_label_entries() == index.num_label_entries()
+        assert loaded.num_vertices == index.num_vertices
+        assert loaded.ordering == index.ordering
+
+    def test_loaded_matches_bfs(self, tmp_path):
+        g = star_graph(9)
+        path = tmp_path / "index.npz"
+        save_index(build_pll_index(g), path)
+        loaded = load_index(path)
+        for s in range(g.num_vertices):
+            dist = bfs_distances(g, s)
+            for t in range(g.num_vertices):
+                assert loaded.query(s, t) == dist[t]
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, nothing=np.arange(3))
+        with pytest.raises(GraphConstructionError):
+            load_index(path)
+
+    def test_pllecc_with_loaded_index(self, tmp_path, web_graph, web_truth):
+        from repro.baselines.pllecc import pllecc_eccentricities
+
+        path = tmp_path / "index.npz"
+        save_index(build_pll_index(web_graph), path)
+        report = pllecc_eccentricities(
+            web_graph, num_references=4, index=load_index(path)
+        )
+        np.testing.assert_array_equal(
+            report.result.eccentricities, web_truth
+        )

@@ -1,0 +1,64 @@
+"""Property-based tests for the PLL index: queries equal BFS distances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import bfs_distances
+from repro.pll.index import build_pll_index
+
+from helpers import random_connected_graph
+
+
+@st.composite
+def graphs_maybe_disconnected(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    num_edges = draw(st.integers(min_value=0, max_value=45))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+class TestPLLProperties:
+    @given(graphs_maybe_disconnected())
+    @settings(max_examples=30, deadline=None)
+    def test_queries_equal_bfs(self, g):
+        index = build_pll_index(g)
+        for s in range(g.num_vertices):
+            dist = bfs_distances(g, s)
+            for t in range(g.num_vertices):
+                assert index.query(s, t) == dist[t]
+
+    @given(
+        st.integers(min_value=2, max_value=35),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_orderings_agree(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        deg = build_pll_index(g, ordering="degree")
+        rnd = build_pll_index(g, ordering="random", seed=seed)
+        for s in (0, n // 2, n - 1):
+            for t in (0, n // 2, n - 1):
+                assert deg.query(s, t) == rnd.query(s, t)
+
+    @given(graphs_maybe_disconnected())
+    @settings(max_examples=30, deadline=None)
+    def test_hub_ranks_sorted(self, g):
+        index = build_pll_index(g)
+        for v in range(g.num_vertices):
+            hubs, dists = index.label_of(v)
+            assert np.all(np.diff(hubs) > 0)
+            assert np.all(dists >= 0)

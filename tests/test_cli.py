@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import paper_example_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture()
+def example_file(tmp_path):
+    path = tmp_path / "example.txt"
+    write_edge_list(paper_example_graph(), path)
+    return str(path)
+
+
+class TestEcc:
+    def test_ecc_on_file(self, example_file, capsys):
+        assert main(["ecc", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "radius=3 diameter=5" in out
+        assert "IFECC-1" in out
+
+    def test_ecc_references_flag(self, example_file, capsys):
+        assert main(["ecc", example_file, "-r", "2"]) == 0
+        assert "IFECC-2" in capsys.readouterr().out
+
+    def test_ecc_output_file(self, example_file, tmp_path, capsys):
+        out_path = tmp_path / "ecc.txt"
+        assert main(["ecc", example_file, "-o", str(out_path)]) == 0
+        values = np.loadtxt(out_path, dtype=int)
+        assert values.tolist() == [5, 4, 3, 3, 4, 5, 4, 5, 3, 4, 5, 5, 4]
+
+    def test_ecc_on_dataset_name(self, capsys):
+        assert main(["ecc", "DBLP"]) == 0
+        assert "radius=" in capsys.readouterr().out
+
+
+class TestApprox:
+    def test_approx(self, example_file, capsys):
+        assert main(["approx", example_file, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "kIFECC(k=4)" in out
+        assert "resolved=" in out
+
+
+class TestDiameter:
+    def test_diameter(self, example_file, capsys):
+        assert main(["diameter", example_file]) == 0
+        assert "diameter=5" in capsys.readouterr().out
+
+    def test_diameter_with_snap(self, example_file, capsys):
+        assert main(
+            ["diameter", example_file, "--snap-sample", "5"]
+        ) == 0
+        assert "SNAP sampling estimate" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats(self, example_file, capsys):
+        assert main(["stats", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "|F1|=6" in out
+        assert "|F2|=2" in out
+        assert "S_4: 1" in out
+
+
+class TestTable3:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLP" in out and "UKUN" in out
+        assert "4,653,174,411" in out
+
+
+class TestErrors:
+    def test_missing_file_reports_error(self, capsys):
+        with pytest.raises((SystemExit, FileNotFoundError, OSError)):
+            main(["ecc", "/nonexistent/file.txt"])
+
+    def test_dataset_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not an edge list\n")
+        assert main(["ecc", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCompare:
+    def test_compare_runs_all(self, example_file, capsys):
+        assert main(["compare", example_file]) == 0
+        out = capsys.readouterr().out
+        for label in ("IFECC-1", "IFECC-16", "BoundECC", "PLLECC"):
+            assert label in out
+
+    def test_compare_with_naive(self, example_file, capsys):
+        assert main(["compare", example_file, "--naive"]) == 0
+        assert "Naive" in capsys.readouterr().out
+
+    def test_compare_budget_dnf(self, capsys):
+        # a tiny budget forces the PLLECC row to DNF on a dataset graph
+        assert main(["compare", "DBLP", "--budget", "0.0001"]) == 0
+        out = capsys.readouterr().out
+        assert "DNF" in out
+
+
+class TestGenerate:
+    def test_generate_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "dblp.txt"
+        assert main(["generate", "DBLP", str(out_path)]) == 0
+        from repro.graph.io import read_edge_list
+
+        graph = read_edge_list(out_path)
+        assert graph.num_edges > 0
+        assert "wrote DBLP stand-in" in capsys.readouterr().out
+
+    def test_generate_unknown_dataset(self, tmp_path, capsys):
+        assert main(["generate", "NOPE", str(tmp_path / "x.txt")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestApproxEstimator:
+    def test_estimator_flag(self, example_file, capsys):
+        assert main(
+            ["approx", example_file, "-k", "2", "--estimator", "midpoint"]
+        ) == 0
+        assert "midpoint" in capsys.readouterr().out
+
+    def test_bad_estimator_rejected(self, example_file):
+        with pytest.raises(SystemExit):
+            main(["approx", example_file, "--estimator", "magic"])

@@ -1,0 +1,20 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.ifecc
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.ifecc],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )
+    assert tested > 0, "no doctests found"
+    assert failures == 0

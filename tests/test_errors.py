@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExhaustedError,
+    DatasetNotFoundError,
+    DisconnectedGraphError,
+    GraphConstructionError,
+    InvalidParameterError,
+    InvalidVertexError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            GraphConstructionError,
+            DatasetNotFoundError,
+            InvalidParameterError,
+        ],
+    )
+    def test_subclasses_of_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_disconnected_carries_component_count(self):
+        exc = DisconnectedGraphError(3)
+        assert exc.num_components == 3
+        assert "3 components" in str(exc)
+
+    def test_disconnected_custom_message(self):
+        exc = DisconnectedGraphError(2, "custom")
+        assert str(exc) == "custom"
+
+    def test_invalid_vertex_message(self):
+        exc = InvalidVertexError(7, 5)
+        assert exc.vertex == 7
+        assert exc.num_vertices == 5
+        assert "7" in str(exc) and "5" in str(exc)
+
+    def test_budget_exhausted(self):
+        exc = BudgetExhaustedError(100)
+        assert exc.budget == 100
+        assert issubclass(BudgetExhaustedError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise InvalidVertexError(1, 1)

@@ -1,0 +1,63 @@
+"""Public-API contract: every advertised name exists and is importable.
+
+Guards against drift between ``__all__`` lists and the actual module
+contents across the whole package tree.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.datasets",
+    "repro.directed",
+    "repro.graph",
+    "repro.pll",
+    "repro.weighted",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), module_name
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_every_submodule_importable():
+    seen = []
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        module = importlib.import_module(info.name)
+        seen.append(module.__name__)
+    # the package tree is non-trivial
+    assert len(seen) > 30
+
+
+def test_every_module_has_docstring():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"
+
+
+def test_top_level_convenience_functions():
+    graph = repro.generators.paper_example_graph()
+    assert repro.compute_eccentricities(graph).exact
+    assert repro.radius_and_diameter(graph).diameter == 5
+    estimate = repro.approximate_eccentricities(graph, k=2)
+    assert estimate.num_bfs <= 3
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

@@ -1,0 +1,172 @@
+"""Tests for the weighted-graph extension (Dijkstra + weighted IFECC)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.errors import (
+    DisconnectedGraphError,
+    GraphConstructionError,
+    InvalidVertexError,
+)
+from repro.graph.generators import cycle_graph, path_graph
+from repro.weighted.dijkstra import dijkstra_distances
+from repro.weighted.eccentricity import (
+    naive_weighted_eccentricities,
+    weighted_eccentricities,
+)
+from repro.weighted.graph import WeightedGraph
+from helpers import random_connected_graph
+
+
+def random_weighted_graph(n, extra, seed, max_weight=9):
+    base = random_connected_graph(n, extra, seed)
+    rng = np.random.default_rng(seed + 1)
+    triples = [
+        (u, v, int(rng.integers(1, max_weight + 1)))
+        for u, v in base.edges()
+    ]
+    return WeightedGraph.from_edges(triples, num_vertices=n)
+
+
+def scipy_weighted_distances(graph: WeightedGraph, source: int):
+    matrix = sp.csr_matrix(
+        (graph.weights, graph.indices, graph.indptr),
+        shape=(graph.num_vertices, graph.num_vertices),
+    )
+    return csgraph.dijkstra(matrix, indices=source)
+
+
+class TestWeightedGraph:
+    def test_from_edges(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_duplicate_keeps_minimum(self):
+        g = WeightedGraph.from_edges([(0, 1, 5.0), (1, 0, 2.0)])
+        nbrs, weights = g.neighbors(0)
+        assert weights[0] == 2.0
+
+    def test_self_loop_dropped(self):
+        g = WeightedGraph.from_edges([(0, 0, 1.0), (0, 1, 1.0)])
+        assert g.num_edges == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph.from_edges([(0, 1, -1.0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedGraph.from_edges([(0, 5, 1.0)], num_vertices=3)
+
+    def test_from_unweighted(self):
+        g = WeightedGraph.from_unweighted(cycle_graph(5), weight=2.0)
+        assert g.num_edges == 5
+        assert np.all(g.weights == 2.0)
+
+    def test_symmetry(self):
+        g = WeightedGraph.from_edges([(0, 1, 3.5)])
+        n0, w0 = g.neighbors(0)
+        n1, w1 = g.neighbors(1)
+        assert n0.tolist() == [1] and n1.tolist() == [0]
+        assert w0[0] == w1[0] == 3.5
+
+    def test_invalid_vertex(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(InvalidVertexError):
+            g.neighbors(4)
+
+
+class TestDijkstra:
+    def test_weighted_path(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        np.testing.assert_array_equal(
+            dijkstra_distances(g, 0), [0.0, 2.0, 5.0]
+        )
+
+    def test_shortcut_chosen(self):
+        # direct heavy edge vs two light hops
+        g = WeightedGraph.from_edges(
+            [(0, 2, 10.0), (0, 1, 2.0), (1, 2, 3.0)]
+        )
+        assert dijkstra_distances(g, 0)[2] == 5.0
+
+    def test_unreachable_inf(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)], num_vertices=3)
+        assert np.isinf(dijkstra_distances(g, 0)[2])
+
+    def test_matches_scipy(self):
+        for seed in range(5):
+            g = random_weighted_graph(40, 30, seed)
+            for source in (0, 20, 39):
+                np.testing.assert_allclose(
+                    dijkstra_distances(g, source),
+                    scipy_weighted_distances(g, source),
+                )
+
+    def test_unit_weights_match_bfs(self):
+        from repro.graph.traversal import bfs_distances
+
+        base = random_connected_graph(50, 40, seed=2)
+        g = WeightedGraph.from_unweighted(base)
+        np.testing.assert_array_equal(
+            dijkstra_distances(g, 0).astype(int), bfs_distances(base, 0)
+        )
+
+    def test_invalid_source(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(InvalidVertexError):
+            dijkstra_distances(g, 9)
+
+
+class TestWeightedIFECC:
+    def test_matches_naive_oracle(self):
+        for seed in range(6):
+            g = random_weighted_graph(45, 35, seed)
+            truth = naive_weighted_eccentricities(g)
+            result = weighted_eccentricities(g)
+            assert result.exact
+            np.testing.assert_allclose(result.eccentricities, truth)
+
+    def test_unit_weights_match_unweighted_ifecc(self):
+        from repro.core.ifecc import compute_eccentricities
+
+        base = random_connected_graph(60, 45, seed=4)
+        weighted = weighted_eccentricities(WeightedGraph.from_unweighted(base))
+        unweighted = compute_eccentricities(base)
+        np.testing.assert_allclose(
+            weighted.eccentricities,
+            unweighted.eccentricities.astype(float),
+        )
+
+    def test_weighted_path_eccentricities(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 5.0)])
+        result = weighted_eccentricities(g)
+        np.testing.assert_allclose(result.eccentricities, [7.0, 5.0, 7.0])
+
+    def test_fewer_traversals_than_naive(self):
+        g = random_weighted_graph(120, 150, seed=7)
+        result = weighted_eccentricities(g)
+        assert result.num_bfs < g.num_vertices
+
+    def test_float_weights(self):
+        g = WeightedGraph.from_edges(
+            [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.75)]
+        )
+        truth = naive_weighted_eccentricities(g)
+        result = weighted_eccentricities(g)
+        np.testing.assert_allclose(result.eccentricities, truth)
+
+    def test_disconnected_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)], num_vertices=3)
+        with pytest.raises(DisconnectedGraphError):
+            weighted_eccentricities(g)
+
+    def test_bounds_sandwich(self):
+        g = random_weighted_graph(40, 30, seed=9)
+        truth = naive_weighted_eccentricities(g)
+        result = weighted_eccentricities(g)
+        assert np.all(result.lower <= truth + 1e-9)
+        assert np.all(result.upper >= truth - 1e-9)
