@@ -1,12 +1,31 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Invariant-aware static analysis (tools/reprolint); exits non-zero on
+# any rule violation.  Run `python -m reprolint --list-rules` for the
+# rule catalogue.
+lint:
+	python -m reprolint src tests benchmarks
+
+# mypy under the [tool.mypy] config in pyproject.toml.  Skips (exit 0)
+# when mypy is not installed; `pip install -e .[dev]` provides it.
+# reprolint's R7 rule enforces annotation coverage even without mypy.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed (pip install -e '.[dev]'); skipping typecheck"; \
+	fi
+
+# Everything a PR must pass: tier-1 tests, reprolint, and the type gate.
+check: test lint typecheck
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,44 @@
+"""Checkout shim for :mod:`reprolint`.
+
+The implementation lives in ``tools/reprolint/``; this package exists so
+``python -m reprolint src tests benchmarks`` works from a repository
+checkout without installing anything or exporting ``PYTHONPATH``.  It
+extends the package search path to the real location — every submodule
+(``reprolint.cli``, ``reprolint.rules``, ``reprolint.__main__`` …)
+resolves there.
+
+Keep this file free of logic beyond the path splice and the re-exports
+mirrored from ``tools/reprolint/__init__.py``.
+"""
+
+import os
+
+_TOOLS_PACKAGE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "reprolint",
+)
+if not os.path.isdir(_TOOLS_PACKAGE):  # pragma: no cover - broken checkout
+    raise ImportError(
+        "reprolint implementation not found at tools/reprolint; "
+        "run from a full repository checkout"
+    )
+__path__.append(_TOOLS_PACKAGE)
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import lint_paths, lint_source
+from reprolint.registry import RULE_REGISTRY, Rule, all_rules
+from reprolint.cli import main
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "__version__",
+]

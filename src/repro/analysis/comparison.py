@@ -17,6 +17,7 @@ from repro.baselines.boundecc import boundecc_eccentricities
 from repro.baselines.naive import naive_eccentricities
 from repro.baselines.pllecc import pllecc_eccentricities
 from repro.core.ifecc import compute_eccentricities
+from repro.core.result import EccentricityResult
 from repro.errors import BudgetExhaustedError, InvalidParameterError
 from repro.graph.csr import Graph
 
@@ -93,7 +94,12 @@ def compare_algorithms(
     rows: List[AlgorithmRow] = []
     reference_ecc = None
 
-    def add(name, seconds, num_bfs, result):
+    def add(
+        name: str,
+        seconds: Optional[float],
+        num_bfs: Optional[int],
+        result: Optional[EccentricityResult],
+    ) -> None:
         nonlocal reference_ecc
         if result is None:
             rows.append(AlgorithmRow(name, None, None, None, None, False))

@@ -22,7 +22,10 @@ def naive_eccentricities(
     graph: Graph,
     counter: Optional[BFSCounter] = None,
 ) -> EccentricityResult:
-    """Exact ED with one BFS per vertex (eccentricity within components)."""
+    """Exact ED with one BFS per vertex (eccentricity within components).
+
+    :dtype ecc: int32
+    """
     counter = counter if counter is not None else BFSCounter()
     start = time.perf_counter()
     n = graph.num_vertices

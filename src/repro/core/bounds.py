@@ -74,7 +74,7 @@ class BoundState:
 
     __slots__ = ("lower", "upper")
 
-    def __init__(self, num_vertices: int):
+    def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
             raise InvalidParameterError("num_vertices must be non-negative")
         self.lower = np.zeros(num_vertices, dtype=np.int32)
@@ -160,6 +160,53 @@ class BoundState:
             "lower-only update produced lower > upper",
         )
         self.lower = new_lower
+
+    def apply_lemma31_subset(
+        self,
+        subset: np.ndarray,
+        dist_subset: np.ndarray,
+        ecc_t: int,
+    ) -> None:
+        """Lemma 3.1 tightening restricted to ``subset``.
+
+        ``dist_subset`` holds ``dist(v, t)`` aligned with ``subset`` (the
+        gathered distances, not the full vector).  This is the territory
+        seeding step of Algorithm 2 lines 8-9.
+
+        :dtype dist: int32
+        """
+        dist = dist_subset.astype(np.int32)
+        new_lower = np.maximum(self.lower[subset], lemma31_lower(dist, ecc_t))
+        new_upper = np.minimum(self.upper[subset], lemma31_upper(dist, ecc_t))
+        self._check_consistent(
+            bool(np.all(new_lower <= new_upper)),
+            "Lemma 3.1 subset update produced lower > upper: "
+            "inconsistent distances",
+        )
+        self.lower[subset] = new_lower
+        self.upper[subset] = new_upper
+
+    def raise_lower_subset(
+        self,
+        subset: np.ndarray,
+        dist_subset: np.ndarray,
+    ) -> None:
+        """Raise ``lower[subset]`` to ``dist_subset`` (Lemma 3.1, lower only).
+
+        The subset counterpart of :meth:`apply_lower_only`, used by the
+        FFO sweep where only the territory's unresolved members need the
+        update (Algorithm 2 line 14).
+
+        :dtype new_lower: int32
+        """
+        new_lower = np.maximum(
+            self.lower[subset], dist_subset.astype(np.int32)
+        )
+        self._check_consistent(
+            bool(np.all(new_lower <= self.upper[subset])),
+            "lower-only subset update produced lower > upper",
+        )
+        self.lower[subset] = new_lower
 
     def apply_lemma33_tail(
         self,

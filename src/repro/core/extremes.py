@@ -66,7 +66,9 @@ class ExtremesResult:
     elapsed_seconds: float
 
 
-def _certify_state(bounds: BoundState, exact_ecc: dict):
+def _certify_state(
+    bounds: BoundState, exact_ecc: "dict[int, int]"
+) -> "tuple[bool, bool, int, Optional[int]]":
     """Current certification status: (dia_done, rad_done, dia, rad)."""
     dia_lb = int(bounds.lower.max())
     dia_ub = int(bounds.upper.max())

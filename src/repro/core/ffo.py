@@ -67,7 +67,10 @@ def farthest_first_order(
     distances: np.ndarray, source: int
 ) -> FarthestFirstOrder:
     """Build a :class:`FarthestFirstOrder` from a precomputed distance
-    vector (ties broken by ascending id)."""
+    vector (ties broken by ascending id).
+
+    :dtype order: int32
+    """
     reachable = np.flatnonzero(distances >= 0)
     # Stable sort on ascending id, keyed by descending distance.
     order = reachable[

@@ -93,7 +93,7 @@ class AlternatingBoundSelector:
     smaller id, as in the reference implementation.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._pick_small_lower = True
 
     def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
@@ -114,7 +114,7 @@ class AlternatingBoundSelector:
 class RandomSelector:
     """Uniformly random unresolved vertex (the sampling baselines)."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
     def select(self, graph: Graph, bounds: BoundState) -> Optional[int]:
@@ -145,7 +145,7 @@ class FFOSelector:
     order covers V).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._order: Optional[np.ndarray] = None
         self._cursor = 0
 
@@ -175,7 +175,7 @@ class BFSFramework:
         graph: Graph,
         selector: SourceSelector,
         counter: Optional[BFSCounter] = None,
-    ):
+    ) -> None:
         if graph.num_vertices == 0:
             raise InvalidParameterError("graph must have at least one vertex")
         self.graph = graph

@@ -93,7 +93,7 @@ class IFECC:
         seed: int = 0,
         memoize_distances: bool = False,
         counter: Optional[BFSCounter] = None,
-    ):
+    ) -> None:
         if num_references < 1:
             raise InvalidParameterError("num_references must be >= 1")
         if graph.num_vertices == 0:
@@ -142,13 +142,8 @@ class IFECC:
             members = np.flatnonzero(owner_idx == idx)
             members = members[~np.isin(members, self.references)]
             # Lemma 3.1 seed from the territory's own reference (lines 8-9).
-            dist_z = ffo.distances[members].astype(np.int32)
-            self.bounds.lower[members] = np.maximum(
-                self.bounds.lower[members],
-                np.maximum(dist_z, ffo.eccentricity - dist_z),
-            )
-            self.bounds.upper[members] = np.minimum(
-                self.bounds.upper[members], dist_z + ffo.eccentricity
+            self.bounds.apply_lemma31_subset(
+                members, ffo.distances[members], ffo.eccentricity
             )
             self._territories.append(
                 _Territory(
@@ -203,10 +198,7 @@ class IFECC:
                     self._known[source] = (ecc_s, dist_s)
                 fresh_bfs = True
             # Lemma 3.1 (lower) for the territory...
-            bounds.lower[unresolved] = np.maximum(
-                bounds.lower[unresolved],
-                dist_s[unresolved].astype(np.int32),
-            )
+            bounds.raise_lower_subset(unresolved, dist_s[unresolved])
             # ... and Lemma 3.3's shrinking tail cap (upper).
             bounds.apply_lemma33_tail(
                 dist_to_z, tail_radius, subset=unresolved

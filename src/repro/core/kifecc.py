@@ -13,7 +13,7 @@ stability advantage over kBFS that Figure 11 demonstrates.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,8 +32,9 @@ __all__ = ["approximate_eccentricities", "kifecc_sweep"]
 _ESTIMATORS = ("lower", "upper", "midpoint")
 
 
-def _estimate(lower, upper, estimator):
-    import numpy as np
+def _estimate(
+    lower: np.ndarray, upper: np.ndarray, estimator: str
+) -> np.ndarray:
 
     if estimator == "lower":
         return lower.copy()
@@ -106,11 +107,11 @@ def approximate_eccentricities(
 
 def kifecc_sweep(
     graph: Graph,
-    sample_sizes,
+    sample_sizes: Sequence[int],
     truth: Optional[np.ndarray] = None,
     strategy: str = "degree",
     seed: int = 0,
-) -> list:
+) -> List[Dict[str, object]]:
     """Run kIFECC for several ``k`` values, reusing one engine.
 
     Because Algorithm 3's runs for increasing ``k`` share their prefix,

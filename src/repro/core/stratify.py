@@ -136,6 +136,8 @@ def exact_via_f1(
     For ``v`` in ``F1`` the eccentricity comes from ``v``'s own BFS; for
     ``v`` outside, ``ecc(v) = max_{u in F1} dist(u, v)`` — the theorem
     guarantees some farthest node of ``v`` lies in ``F1``.
+
+    :dtype ecc: int32
     """
     counter = counter if counter is not None else BFSCounter()
     start = time.perf_counter()

@@ -18,6 +18,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from repro.errors import GraphConstructionError, InvalidVertexError
+from repro.graph.csr import Graph
 
 __all__ = ["DirectedGraph"]
 
@@ -49,7 +50,7 @@ class DirectedGraph:
         fwd_indices: np.ndarray,
         rev_indptr: np.ndarray,
         rev_indices: np.ndarray,
-    ):
+    ) -> None:
         self._fwd_indptr = np.ascontiguousarray(fwd_indptr, dtype=np.int64)
         self._fwd_indices = np.ascontiguousarray(fwd_indices, dtype=np.int32)
         self._rev_indptr = np.ascontiguousarray(rev_indptr, dtype=np.int64)
@@ -100,7 +101,7 @@ class DirectedGraph:
         return cls(fwd_indptr, fwd_indices, rev_indptr, rev_indices)
 
     @classmethod
-    def from_undirected(cls, graph) -> "DirectedGraph":
+    def from_undirected(cls, graph: Graph) -> "DirectedGraph":
         """Lift an undirected :class:`repro.graph.csr.Graph` (each edge
         becomes two arcs)."""
         n = graph.num_vertices

@@ -13,7 +13,19 @@ from repro.directed.graph import DirectedGraph
 __all__ = ["forward_bfs", "backward_bfs", "is_strongly_connected"]
 
 
-def _bfs(indptr, indices, n, source, counter, label):
+def _bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    source: int,
+    counter: Optional[BFSCounter],
+    label: str,
+) -> np.ndarray:
+    """Level-synchronous BFS over one arc direction.
+
+    :dtype dist: int32
+    :dtype frontier: int64
+    """
     dist = np.full(n, UNREACHED, dtype=np.int32)
     dist[source] = 0
     frontier = np.asarray([source], dtype=np.int64)

@@ -7,6 +7,16 @@ still letting programming errors (``TypeError`` and friends) propagate.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphConstructionError",
+    "DisconnectedGraphError",
+    "InvalidParameterError",
+    "InvalidVertexError",
+    "DatasetNotFoundError",
+    "BudgetExhaustedError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -26,7 +36,7 @@ class DisconnectedGraphError(ReproError):
     per-component driver :func:`repro.core.ifecc.eccentricities_per_component`.
     """
 
-    def __init__(self, num_components: int, message: str = ""):
+    def __init__(self, num_components: int, message: str = "") -> None:
         self.num_components = num_components
         if not message:
             message = (
@@ -43,7 +53,7 @@ class InvalidParameterError(ReproError):
 class InvalidVertexError(ReproError):
     """Raised when a vertex id is outside ``[0, n)`` for the given graph."""
 
-    def __init__(self, vertex: int, num_vertices: int):
+    def __init__(self, vertex: int, num_vertices: int) -> None:
         self.vertex = vertex
         self.num_vertices = num_vertices
         super().__init__(
@@ -59,6 +69,6 @@ class DatasetNotFoundError(ReproError):
 class BudgetExhaustedError(ReproError):
     """Raised when an algorithm exceeds its configured BFS or time budget."""
 
-    def __init__(self, budget: float, message: str = ""):
+    def __init__(self, budget: float, message: str = "") -> None:
         self.budget = budget
         super().__init__(message or f"computation budget exhausted ({budget})")

@@ -31,7 +31,7 @@ class GraphBuilder:
         ``[0, max id + 1)`` at :meth:`build` time.
     """
 
-    def __init__(self, num_vertices: int | None = None):
+    def __init__(self, num_vertices: int | None = None) -> None:
         if num_vertices is not None and num_vertices < 0:
             raise GraphConstructionError("num_vertices must be non-negative")
         self._num_vertices = num_vertices

@@ -10,7 +10,7 @@ that splits a graph into its component subgraphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -53,7 +53,10 @@ class ComponentLabels:
 
 
 def connected_components(graph: Graph) -> ComponentLabels:
-    """Label the connected components of ``graph`` via repeated BFS."""
+    """Label the connected components of ``graph`` via repeated BFS.
+
+    :dtype labels: int32
+    """
     n = graph.num_vertices
     labels = np.full(n, -1, dtype=np.int32)
     sizes: List[int] = []
@@ -107,7 +110,9 @@ def split_components(graph: Graph) -> List[Tuple[Graph, np.ndarray]]:
     return out
 
 
-def induced_subgraph(graph: Graph, vertices) -> Tuple[Graph, np.ndarray]:
+def induced_subgraph(
+    graph: Graph, vertices: Iterable[int]
+) -> Tuple[Graph, np.ndarray]:
     """Induced subgraph on an arbitrary vertex subset.
 
     Vertex ids are remapped to ``[0, len(vertices))`` in the sorted

@@ -57,7 +57,7 @@ class Graph:
         indptr: np.ndarray,
         indices: np.ndarray,
         validate: bool = True,
-    ):
+    ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int32)
         if validate:
@@ -112,7 +112,11 @@ class Graph:
     @classmethod
     def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
         """Build a graph from an adjacency list (sequence of neighbor
-        sequences).  The input must already be symmetric."""
+        sequences).  The input must already be symmetric.
+
+        :dtype indptr: int64
+        :dtype indices: int32
+        """
         indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
         chunks: List[np.ndarray] = []
         for v, neighbors in enumerate(adjacency):

@@ -31,6 +31,9 @@ def bfs_parents(
     ``parent[v] == -1`` for unreachable ``v``.  Among the multiple
     shortest-path trees, the one with the smallest-id parent per vertex
     is produced (deterministic).
+
+    :dtype dist: int32
+    :dtype parent: int64
     """
     n = graph.num_vertices
     if not 0 <= source < n:

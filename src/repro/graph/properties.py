@@ -64,6 +64,8 @@ def exact_eccentricities(
     Quadratic time; intended for tests and small graphs.  With
     ``require_connected=False``, eccentricities are taken within each
     vertex's component.
+
+    :dtype ecc: int32
     """
     n = graph.num_vertices
     ecc = np.zeros(n, dtype=np.int32)

@@ -118,6 +118,8 @@ def bfs_distances_bounded(
 
     Vertices farther than ``limit`` keep distance ``UNREACHED``.  A ``None``
     limit performs a full BFS.
+
+    :dtype dist: int32
     """
     if limit is not None and limit < 0:
         from repro.errors import InvalidParameterError
@@ -191,6 +193,10 @@ def multi_source_bfs(
 
     This is a single level-synchronous sweep, i.e. one BFS worth of work
     regardless of ``len(sources)``.
+
+    :dtype dist: int32
+    :dtype owner: int32
+    :dtype priority: int64
     """
     n = graph.num_vertices
     src = np.asarray(list(sources), dtype=np.int64)

@@ -62,7 +62,7 @@ class PLLIndex:
         dists: List[np.ndarray],
         construction_seconds: float = 0.0,
         ordering: str = "degree",
-    ):
+    ) -> None:
         if len(hubs) != len(dists):
             raise InvalidParameterError("hubs and dists length mismatch")
         self._hubs = hubs
@@ -148,6 +148,10 @@ def build_pll_index(
     :class:`repro.errors.BudgetExhaustedError` — the benchmark harness's
     analogue of the paper's 24-hour cut-off, which PLLECC exceeds on the
     billion-edge graphs.
+
+    :dtype rank: int32
+    :dtype landmark_hub_dist: int32
+    :dtype dist_seen: int32
     """
     order = get_order(ordering)(graph, seed)
     n = graph.num_vertices

@@ -9,6 +9,8 @@ a worst-case ablation and a double-sweep-closeness hybrid.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
@@ -56,7 +58,7 @@ _ORDERS = {
 }
 
 
-def get_order(name: str):
+def get_order(name: str) -> Callable[..., np.ndarray]:
     """Look up an ordering function by name."""
     try:
         return _ORDERS[name]

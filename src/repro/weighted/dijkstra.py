@@ -24,7 +24,10 @@ def dijkstra_distances(
     source: int,
     counter: Optional[BFSCounter] = None,
 ) -> np.ndarray:
-    """Distances from ``source`` to every vertex (``inf`` = unreachable)."""
+    """Distances from ``source`` to every vertex (``inf`` = unreachable).
+
+    :dtype dist: float64
+    """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise InvalidVertexError(source, n)

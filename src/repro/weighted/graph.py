@@ -15,6 +15,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
+from repro.graph.csr import Graph
 from repro.errors import GraphConstructionError, InvalidVertexError
 
 __all__ = ["WeightedGraph"]
@@ -34,7 +35,7 @@ class WeightedGraph:
         indptr: np.ndarray,
         indices: np.ndarray,
         weights: np.ndarray,
-    ):
+    ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int32)
         weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -105,7 +106,9 @@ class WeightedGraph:
         )
 
     @classmethod
-    def from_unweighted(cls, graph, weight: float = 1.0) -> "WeightedGraph":
+    def from_unweighted(
+        cls, graph: Graph, weight: float = 1.0
+    ) -> "WeightedGraph":
         """Lift an unweighted :class:`repro.graph.csr.Graph` (uniform
         edge weight)."""
         return cls(

@@ -117,6 +117,7 @@ class TestLemma33Tail:
 
     def test_never_below_lower(self):
         state = BoundState(2)
+        # reprolint: disable=R2 (forcing internal state for the error path)
         state.lower = np.array([5, 5], dtype=np.int32)
         state.apply_lemma33_tail(
             np.array([0, 0], dtype=np.int32), tail_radius=1
@@ -143,6 +144,7 @@ class TestSetExact:
 
     def test_out_of_bounds_value_rejected(self):
         state = BoundState(2)
+        # reprolint: disable=R2 (forcing internal state for the error path)
         state.lower[0] = 5
         with pytest.raises(InvalidParameterError):
             state.set_exact(0, 3)

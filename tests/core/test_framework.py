@@ -96,7 +96,9 @@ class TestSelectors:
     def test_selectors_return_none_when_done(self, social_graph):
         truth = exact_eccentricities(social_graph)
         state = BoundState(social_graph.num_vertices)
+        # reprolint: disable=R2 (test oracle pins bounds to the truth)
         state.lower = truth.copy()
+        # reprolint: disable=R2 (test oracle pins bounds to the truth)
         state.upper = truth.copy()
         for factory, name in zip(ALL_SELECTORS, SELECTOR_IDS):
             assert factory().select(social_graph, state) is None, name

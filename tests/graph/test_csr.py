@@ -98,8 +98,10 @@ class TestAccessors:
     def test_arrays_read_only(self):
         g = triangle()
         with pytest.raises(ValueError):
+            # reprolint: disable=R1 (asserting the read-only flag works)
             g.indices[0] = 5
         with pytest.raises(ValueError):
+            # reprolint: disable=R1 (asserting the read-only flag works)
             g.indptr[0] = 1
 
 

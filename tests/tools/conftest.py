@@ -1,0 +1,14 @@
+"""Make the checkout-root ``reprolint`` shim importable under pytest.
+
+The tier-1 suite runs with ``PYTHONPATH=src``; the linter lives in
+``tools/reprolint`` behind the repo-root shim package, so tests add the
+repository root to ``sys.path`` explicitly (the same resolution path the
+documented ``python -m reprolint`` invocation uses).
+"""
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = str(Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

@@ -1,0 +1,81 @@
+"""CLI behaviour and the repository-wide clean-tree smoke test."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from reprolint import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCli:
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+            assert code in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text('"""Doc."""\nX = 1\n')
+        assert main([str(good)]) == 0
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro"
+        bad.mkdir(parents=True)
+        mod = bad / "mod.py"
+        mod.write_text('"""Doc."""\nimport networkx\n__all__ = []\n')
+        # Absolute tmp paths are outside src/repro/, so drive the rule
+        # through lint_source-style relative naming via --select on the
+        # module file: R3 keys off the repo-relative path, which doesn't
+        # apply here — use a rule that fires anywhere instead.
+        mod.write_text(
+            '"""Doc."""\n\ndef f(g):\n    g.indptr = None\n'
+        )
+        code = main([str(mod)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "R1" in captured.out
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text('"""Doc."""\n\ndef f(g):\n    g.indptr = None\n')
+        assert main(["--select", "R2", str(mod)]) == 0
+        assert main(["--select", "csr-immutable", str(mod)]) == 1
+
+    def test_unknown_rule_selection_errors(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text("X = 1\n")
+        assert main(["--select", "R99", str(mod)]) == 2
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["definitely/not/a/path"]) == 2
+
+
+class TestRepositoryClean:
+    """The committed tree passes its own gate."""
+
+    def test_src_tests_benchmarks_clean(self):
+        from reprolint import lint_paths
+
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(REPO_ROOT)
+        try:
+            diagnostics = lint_paths(["src", "tests", "benchmarks"])
+        finally:
+            os.chdir(cwd)
+        assert diagnostics == [], "\n".join(
+            d.format() for d in diagnostics
+        )
+
+    def test_module_invocation_from_checkout_root(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "reprolint", "src", "tests", "benchmarks"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,457 @@
+"""Per-rule fixtures: each rule fires on a minimal bad example and stays
+silent on the corresponding good example."""
+
+import textwrap
+
+import pytest
+
+from reprolint import lint_source
+
+SRC = "src/repro/example.py"
+HOT = "src/repro/core/example.py"
+
+
+def codes(diagnostics):
+    return sorted({d.rule_id for d in diagnostics})
+
+
+def run(source, path=SRC, select=None):
+    diags = lint_source(textwrap.dedent(source), path=path)
+    if select is not None:
+        diags = [d for d in diags if d.rule_id == select]
+    return diags
+
+
+# A fully-annotated module skeleton that satisfies R5/R7 so fixtures can
+# isolate one rule at a time.
+def wrap(body):
+    return (
+        '"""Fixture module."""\n'
+        "import numpy as np\n"
+        "__all__ = []\n" + textwrap.dedent(body)
+    )
+
+
+# ----------------------------------------------------------------- R1
+class TestCsrImmutable:
+    def test_fires_on_attribute_write(self):
+        diags = run(wrap("def f(g: object) -> None:\n    g.indptr = None\n"),
+                    select="R1")
+        assert len(diags) == 1
+        assert "indptr" in diags[0].message
+
+    def test_fires_on_subscript_write(self):
+        diags = run(wrap("def f(g: object) -> None:\n    g.indices[0] = 1\n"),
+                    select="R1")
+        assert len(diags) == 1
+
+    def test_fires_on_setflags_write_true(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr.setflags(write=True)\n"),
+            select="R1",
+        )
+        assert len(diags) == 1
+
+    def test_silent_on_reads_and_locals(self):
+        diags = run(
+            wrap(
+                "def f(g: object) -> int:\n"
+                "    indptr = np.zeros(3, dtype=np.int64)\n"
+                "    indptr[0] = 1\n"  # local Name, not an attribute
+                "    return int(g.indptr[0])\n"
+            ),
+            select="R1",
+        )
+        assert diags == []
+
+    def test_silent_in_builder_module(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n    g.indptr = None\n"),
+            path="src/repro/graph/builder.py",
+        )
+        assert "R1" not in codes(diags)
+
+    def test_setflags_false_is_allowed(self):
+        diags = run(
+            wrap("def f(arr: np.ndarray) -> None:\n"
+                 "    arr.setflags(write=False)\n"),
+            select="R1",
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------- R2
+class TestBoundsApi:
+    def test_fires_on_attribute_subscript_write(self):
+        diags = run(
+            wrap("def f(state: object) -> None:\n    state.lower[0] = 3\n"),
+            select="R2",
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_named_array(self):
+        diags = run(wrap("def f() -> None:\n    ecc_upper = None\n"),
+                    select="R2")
+        assert len(diags) == 1
+
+    def test_fires_on_augmented_write(self):
+        diags = run(
+            wrap("def f(state: object) -> None:\n    state.upper -= 1\n"),
+            select="R2",
+        )
+        assert len(diags) == 1
+
+    def test_silent_on_reads_and_method_calls(self):
+        diags = run(
+            wrap(
+                "def f(state: object, s: str) -> str:\n"
+                "    x = state.lower[0] + state.upper[0]\n"
+                "    return s.lower() + str(x)\n"
+            ),
+            select="R2",
+        )
+        assert diags == []
+
+    def test_silent_inside_bounds_module(self):
+        diags = run(
+            wrap("def f(state: object) -> None:\n    state.lower[0] = 3\n"),
+            path="src/repro/core/bounds.py",
+        )
+        assert "R2" not in codes(diags)
+
+
+# ----------------------------------------------------------------- R3
+class TestImportHygiene:
+    def test_fires_on_networkx(self):
+        diags = run(wrap("import networkx\n"), select="R3")
+        assert len(diags) == 1
+
+    def test_fires_on_scipy_from_import(self):
+        diags = run(wrap("from scipy.sparse import csr_matrix\n"),
+                    select="R3")
+        assert len(diags) == 1
+
+    def test_fires_on_unknown_third_party(self):
+        diags = run(wrap("import requests\n"), select="R3")
+        assert len(diags) == 1
+
+    def test_silent_on_stdlib_numpy_and_repro(self):
+        diags = run(
+            wrap("import os\nimport numpy\nfrom repro.graph.csr import Graph\n"),
+            select="R3",
+        )
+        assert diags == []
+
+    def test_silent_outside_src(self):
+        diags = run(wrap("import networkx\n"), path="tests/test_example.py")
+        assert "R3" not in codes(diags)
+
+
+# ----------------------------------------------------------------- R4
+class TestHotPathLoops:
+    def test_fires_on_nested_range_loop(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> int:\n"
+                "    total = 0\n"
+                "    for u in range(n):\n"
+                "        for v in range(n):\n"
+                "            total += v\n"
+                "    return total\n"
+            ),
+            path=HOT,
+            select="R4",
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_neighbors_in_loop(self):
+        diags = run(
+            wrap(
+                "def f(g: object, n: int) -> None:\n"
+                "    for v in range(n):\n"
+                "        _ = list(g.neighbors(v))\n"
+            ),
+            path=HOT,
+            select="R4",
+        )
+        assert len(diags) == 1
+
+    def test_silent_on_single_loop(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> int:\n"
+                "    total = 0\n"
+                "    for v in range(n):\n"
+                "        total += v\n"
+                "    return total\n"
+            ),
+            path=HOT,
+            select="R4",
+        )
+        assert diags == []
+
+    def test_silent_outside_hot_modules(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> None:\n"
+                "    for u in range(n):\n"
+                "        for v in range(n):\n"
+                "            pass\n"
+            ),
+            path="src/repro/analysis/example.py",
+        )
+        assert "R4" not in codes(diags)
+
+    def test_nested_function_resets_depth(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> None:\n"
+                "    for v in range(n):\n"
+                "        def inner(m: int) -> None:\n"
+                "            for u in range(m):\n"
+                "                pass\n"
+            ),
+            path=HOT,
+            select="R4",
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------- R5
+class TestPublicApi:
+    def test_fires_when_all_missing(self):
+        diags = run('"""Doc."""\nX = 1\n', select="R5")
+        assert len(diags) == 1
+        assert "__all__" in diags[0].message
+
+    def test_fires_on_phantom_name(self):
+        diags = run('"""Doc."""\n__all__ = ["missing"]\nX = 1\n',
+                    select="R5")
+        assert len(diags) == 1
+        assert "missing" in diags[0].message
+
+    def test_fires_on_non_literal_all(self):
+        diags = run('"""Doc."""\n__all__ = [x for x in ("a",)]\na = 1\n',
+                    select="R5")
+        assert len(diags) == 1
+
+    def test_fires_on_duplicate_entry(self):
+        diags = run('"""Doc."""\n__all__ = ["X", "X"]\nX = 1\n',
+                    select="R5")
+        assert len(diags) == 1
+
+    def test_silent_on_accurate_all(self):
+        diags = run(
+            '"""Doc."""\n'
+            "try:\n    import os\nexcept ImportError:\n    os = None\n"
+            '__all__ = ["os", "f", "X"]\n'
+            "X = 1\n"
+            "def f() -> None:\n    pass\n",
+            select="R5",
+        )
+        assert diags == []
+
+    def test_silent_outside_src(self):
+        diags = run('"""Doc."""\nX = 1\n', path="tests/test_example.py")
+        assert "R5" not in codes(diags)
+
+
+# ----------------------------------------------------------------- R6
+class TestDtypeContracts:
+    def test_fires_on_contract_mismatch(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> np.ndarray:\n"
+                '    """Doc.\n\n    :dtype dist: int32\n    """\n'
+                "    dist = np.zeros(n, dtype=np.int64)\n"
+                "    return dist\n"
+            ),
+            select="R6",
+        )
+        assert len(diags) == 1
+        assert "int64" in diags[0].message
+
+    def test_fires_on_astype_mismatch(self):
+        diags = run(
+            wrap(
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                '    """Doc.\n\n    :dtype y: int32\n    """\n'
+                "    y = x.astype(np.float64)\n"
+                "    return y\n"
+            ),
+            select="R6",
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_noncanonical_indptr(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> np.ndarray:\n"
+                "    indptr = np.zeros(n, dtype=np.int32)\n"
+                "    return indptr\n"
+            ),
+            select="R6",
+        )
+        assert len(diags) == 1
+        assert "Theorem 4.5" in diags[0].message
+
+    def test_fires_on_unknown_dtype_spelling(self):
+        diags = run(
+            wrap(
+                "def f() -> None:\n"
+                '    """Doc.\n\n    :dtype x: int33\n    """\n'
+            ),
+            select="R6",
+        )
+        assert len(diags) == 1
+
+    def test_silent_on_matching_contract(self):
+        diags = run(
+            wrap(
+                "def f(n: int) -> np.ndarray:\n"
+                '    """Doc.\n\n    :dtype dist: int32\n    """\n'
+                "    dist = np.full(n, -1, dtype=np.int32)\n"
+                "    return dist\n"
+            ),
+            select="R6",
+        )
+        assert diags == []
+
+    def test_silent_without_explicit_dtype(self):
+        diags = run(
+            wrap(
+                "def f(x: np.ndarray) -> np.ndarray:\n"
+                '    """Doc.\n\n    :dtype y: int32\n    """\n'
+                "    y = np.sort(x)\n"
+                "    return y\n"
+            ),
+            select="R6",
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------- R7
+class TestTypingGate:
+    def test_fires_on_unannotated_parameter(self):
+        diags = run(
+            wrap("def f(x) -> None:\n    pass\n"), select="R7"
+        )
+        assert len(diags) == 1
+        assert "'x'" in diags[0].message
+
+    def test_fires_on_missing_return(self):
+        diags = run(wrap("def f(x: int):\n    pass\n"), select="R7")
+        assert len(diags) == 1
+
+    def test_fires_on_unannotated_method(self):
+        diags = run(
+            wrap(
+                "class C:\n"
+                "    def m(self, x):\n"
+                "        pass\n"
+            ),
+            select="R7",
+        )
+        assert len(diags) == 2  # parameter + return
+
+    def test_self_and_cls_are_exempt(self):
+        diags = run(
+            wrap(
+                "class C:\n"
+                "    def m(self) -> None:\n"
+                "        pass\n"
+                "    @classmethod\n"
+                "    def c(cls) -> None:\n"
+                "        pass\n"
+            ),
+            select="R7",
+        )
+        assert diags == []
+
+    def test_starargs_need_annotations(self):
+        diags = run(
+            wrap("def f(*args, **kwargs) -> None:\n    pass\n"),
+            select="R7",
+        )
+        assert len(diags) == 1
+        assert "*args" in diags[0].message and "**kwargs" in diags[0].message
+
+    def test_silent_outside_src(self):
+        diags = run(wrap("def f(x):\n    pass\n"),
+                    path="tests/test_example.py")
+        assert "R7" not in codes(diags)
+
+
+# ------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_line_level_disable(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr = None  # reprolint: disable=R1\n"),
+            select="R1",
+        )
+        assert diags == []
+
+    def test_slug_name_disable(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr = None  # reprolint: disable=csr-immutable\n"),
+            select="R1",
+        )
+        assert diags == []
+
+    def test_comment_above_disables_next_line(self):
+        diags = run(
+            wrap(
+                "def f(g: object) -> None:\n"
+                "    # reprolint: disable=R1 (fixture justification)\n"
+                "    g.indptr = None\n"
+            ),
+            select="R1",
+        )
+        assert diags == []
+
+    def test_file_level_disable(self):
+        diags = run(
+            '"""Doc."""\n'
+            "# reprolint: disable-file=R5\n"
+            "X = 1\n",
+            select="R5",
+        )
+        assert diags == []
+
+    def test_unrelated_rule_still_fires(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr = None  # reprolint: disable=R2\n"),
+            select="R1",
+        )
+        assert len(diags) == 1
+
+
+# ------------------------------------------------------------- engine
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        from reprolint import lint_paths
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        diags = lint_paths([str(bad)])
+        assert len(diags) == 1
+        assert diags[0].rule_id == "E0"
+
+    def test_rule_metadata_complete(self):
+        from reprolint import all_rules
+
+        rules = all_rules()
+        assert len(rules) >= 6
+        for rule_obj in rules:
+            assert rule_obj.rule_id and rule_obj.rule_name
+            assert rule_obj.summary and rule_obj.protects
+
+    def test_missing_path_raises(self):
+        from reprolint import lint_paths
+
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"])

@@ -1,0 +1,42 @@
+"""reprolint — invariant-aware static analysis for the IFECC reproduction.
+
+The repository's correctness rests on invariants the paper states but
+Python cannot enforce at runtime (immutable CSR graphs, monotone bound
+tightening, vectorised hot paths, fixed numpy dtypes).  ``reprolint``
+encodes each invariant as an AST-level rule so that refactors and
+performance work cannot silently regress them.
+
+Usage::
+
+    python -m reprolint src tests benchmarks
+    python -m reprolint --list-rules
+
+Each rule has a short code (``R1`` .. ``R7``) and a slug name; both work
+in suppression comments::
+
+    graph.indptr[0] = 1  # reprolint: disable=R1
+    state.lower[0] = 5   # reprolint: disable=bounds-api
+
+A file-level waiver (``# reprolint: disable-file=R4``) near the top of a
+module silences one rule for the whole file.  See the "Static analysis &
+invariants" section of ``CONTRIBUTING.md`` for the rule catalogue and the
+paper lemma each rule protects.
+"""
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import lint_paths, lint_source
+from reprolint.registry import RULE_REGISTRY, Rule, all_rules
+from reprolint.cli import main
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "assignment_targets",
+    "attribute_name",
+    "dtype_token",
+    "iter_functions",
+    "stdlib_modules",
+    "walk_with_loops",
+]
+
+
+def assignment_targets(node: ast.AST) -> List[ast.expr]:
+    """Target expressions written by an assignment-like statement.
+
+    Tuple/list destructuring and starred targets are flattened; for
+    ``AugAssign``/``AnnAssign`` the single target is returned.
+    """
+    raw: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        raw.extend(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        raw.append(node.target)
+    elif isinstance(node, ast.For):
+        raw.append(node.target)
+    elif isinstance(node, (ast.withitem,)) and node.optional_vars is not None:
+        raw.append(node.optional_vars)
+    out: List[ast.expr] = []
+    stack = list(raw)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+        else:
+            out.append(target)
+    return out
+
+
+def attribute_name(node: ast.expr) -> Optional[str]:
+    """``attr`` for an ``ast.Attribute``, else ``None``."""
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def dtype_token(node: ast.expr) -> Optional[str]:
+    """Canonical dtype spelling for an expression, if recognisable.
+
+    Handles ``np.int32``/``numpy.int32`` attributes, bare names
+    (``int32``), and string literals (``"int32"``); returns ``None`` for
+    anything dynamic.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Every function/method definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_with_loops(
+    node: ast.AST, loop_depth: int = 0
+) -> Iterator["tuple[ast.AST, int]"]:
+    """Yield ``(node, enclosing_python_loop_depth)`` pairs.
+
+    ``for``/``while`` bodies increase the depth; nested function and
+    class definitions reset it (a closure's loop is not the caller's
+    loop).
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield child, loop_depth
+            yield from walk_with_loops(child, 0)
+        elif isinstance(child, (ast.For, ast.While)):
+            yield child, loop_depth
+            yield from walk_with_loops(child, loop_depth + 1)
+        else:
+            yield child, loop_depth
+            yield from walk_with_loops(child, loop_depth)
+
+
+def stdlib_modules() -> "frozenset[str]":
+    """Names of standard-library top-level modules."""
+    if hasattr(sys, "stdlib_module_names"):
+        return frozenset(sys.stdlib_module_names)
+    # Python < 3.10 fallback: a conservative hand list of what the repo
+    # could plausibly import from the stdlib.
+    return frozenset(
+        {
+            "abc", "argparse", "array", "ast", "bisect", "collections",
+            "contextlib", "copy", "csv", "dataclasses", "enum", "functools",
+            "gzip", "hashlib", "heapq", "importlib", "io", "itertools",
+            "json", "logging", "math", "operator", "os", "pathlib",
+            "pickle", "random", "re", "shutil", "string", "struct", "sys",
+            "tempfile", "textwrap", "time", "types", "typing", "unittest",
+            "urllib", "warnings", "zlib",
+        }
+    )

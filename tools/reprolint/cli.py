@@ -1,0 +1,104 @@
+"""Command-line interface: ``python -m reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from reprolint.engine import lint_paths
+from reprolint.registry import Rule, all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Invariant-aware static analysis for the IFECC reproduction. "
+            "Exits 1 when any rule fires."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print diagnostics only",
+    )
+    return parser
+
+
+def _match(rule_obj: Rule, tokens: List[str]) -> bool:
+    return rule_obj.rule_id.lower() in tokens or rule_obj.rule_name in tokens
+
+
+def _filter_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        tokens = [tok.strip().lower() for tok in select.split(",")]
+        rules = [r for r in rules if _match(r, tokens)]
+    if ignore:
+        tokens = [tok.strip().lower() for tok in ignore.split(",")]
+        rules = [r for r in rules if not _match(r, tokens)]
+    return rules
+
+
+def _print_catalogue() -> None:
+    for rule_obj in all_rules():
+        print(f"{rule_obj.rule_id}  {rule_obj.rule_name}")
+        print(f"    {rule_obj.summary}")
+        if rule_obj.protects:
+            print(f"    protects: {rule_obj.protects}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+    rules = _filter_rules(args.select, args.ignore)
+    if not rules:
+        print("reprolint: no rules selected", file=sys.stderr)
+        return 2
+    try:
+        diagnostics = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(diag.format())
+    if not args.quiet:
+        noun = "violation" if len(diagnostics) == 1 else "violations"
+        print(
+            f"reprolint: {len(diagnostics)} {noun} "
+            f"({len(rules)} rules)",
+            file=sys.stderr,
+        )
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

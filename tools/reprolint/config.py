@@ -1,0 +1,82 @@
+"""Repository-specific policy knobs for the rule set.
+
+Rules read these constants instead of hard-coding paths so the policy is
+reviewable in one place.  Paths are repository-relative posix strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SRC_PREFIX",
+    "CSR_MUTATION_ALLOWLIST",
+    "BOUNDS_MODULE",
+    "BANNED_SRC_IMPORTS",
+    "ALLOWED_SRC_IMPORT_ROOTS",
+    "HOT_PATH_PREFIXES",
+    "PUBLIC_API_EXEMPT",
+    "CANONICAL_DTYPES",
+    "KNOWN_DTYPES",
+]
+
+#: Everything under here is shipped library code and held to the
+#: strictest standard.
+SRC_PREFIX = "src/repro/"
+
+#: The only modules allowed to create or (re)mark CSR arrays.  They are
+#: the constructors: everything else must treat ``Graph.indptr`` /
+#: ``Graph.indices`` as frozen (Theorem 4.5's O(m+n) immutable layout).
+CSR_MUTATION_ALLOWLIST = frozenset(
+    {
+        "src/repro/graph/builder.py",
+        "src/repro/graph/csr.py",
+        "src/repro/directed/graph.py",
+        "src/repro/weighted/graph.py",
+    }
+)
+
+#: The one module allowed to assign to eccentricity bound arrays; all
+#: other code must go through the BoundState API (Lemma 3.1 / 3.3).
+BOUNDS_MODULE = "src/repro/core/bounds.py"
+
+#: Heavyweight graph libraries that must never leak into shipped code;
+#: they are test/bench-only oracles.
+BANNED_SRC_IMPORTS = frozenset({"networkx", "scipy", "pandas", "matplotlib"})
+
+#: Import roots shipped code may use: the standard library is detected
+#: dynamically; beyond it only these are allowed.
+ALLOWED_SRC_IMPORT_ROOTS = frozenset({"numpy", "repro"})
+
+#: Modules whose loops dominate the paper's measured runtimes.  Nested
+#: Python-level loops here silently demote "scalable" to "quadratic
+#: interpreter time".
+HOT_PATH_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/graph/traversal.py",
+    "src/repro/graph/msbfs.py",
+)
+
+#: Modules exempt from the ``__all__`` requirement (script entry points).
+PUBLIC_API_EXEMPT = frozenset({"src/repro/__main__.py"})
+
+#: Canonical dtypes for the CSR arrays (Theorem 4.5 memory accounting):
+#: variables with these exact names must be constructed with the matching
+#: dtype whenever an explicit dtype appears at the construction site.
+CANONICAL_DTYPES = {"indptr": "int64", "indices": "int32"}
+
+#: Dtype spellings understood by the ``:dtype name: <dtype>`` docstring
+#: contract grammar.
+KNOWN_DTYPES = frozenset(
+    {
+        "bool_",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float32",
+        "float64",
+    }
+)

@@ -1,0 +1,45 @@
+"""Diagnostic records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Short rule code (``"R1"`` .. ``"R7"``).
+    rule_name:
+        Human-readable slug (``"csr-immutable"``).
+    path:
+        Repository-relative posix path of the offending file.
+    line:
+        1-based line number of the violation.
+    col:
+        0-based column offset.
+    message:
+        What was violated and why it matters.
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: CODE message`` shape."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id}[{self.rule_name}] {self.message}"
+        )
+
+    def sort_key(self) -> "tuple[str, int, int, str]":
+        return (self.path, self.line, self.col, self.rule_id)

@@ -1,0 +1,136 @@
+"""File collection, module contexts, and the lint driver."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from reprolint.diagnostics import Diagnostic
+from reprolint.registry import Rule, all_rules
+from reprolint.suppressions import SuppressionIndex, parse_suppressions
+
+__all__ = ["ModuleContext", "lint_paths", "lint_source", "collect_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "results", ".mypy_cache"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module."""
+
+    path: str  # repository-relative posix path
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.suppressions is None:
+            self.suppressions = parse_suppressions(self.source)
+
+    @property
+    def module_name(self) -> str:
+        return os.path.basename(self.path)
+
+    def is_under(self, prefix: str) -> bool:
+        return self.path.startswith(prefix)
+
+    def docstring_of(self, node: ast.AST) -> Optional[str]:
+        if isinstance(
+            node,
+            (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            return ast.get_docstring(node, clean=False)
+        return None
+
+
+def _normalise(path: str) -> str:
+    rel = os.path.relpath(path)
+    return rel.replace(os.sep, "/")
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(_normalise(path))
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(_normalise(os.path.join(root, name)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(out))
+
+
+def _build_context(path: str) -> ModuleContext:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return ModuleContext(path=path, source=source, tree=tree)
+
+
+def _run_rules(
+    ctx: ModuleContext, rules: Iterable[Rule]
+) -> List[Diagnostic]:
+    found: List[Diagnostic] = []
+    for rule_obj in rules:
+        if not rule_obj.applies_to(ctx):
+            continue
+        for diag in rule_obj.check(ctx):
+            if not ctx.suppressions.is_suppressed(
+                diag.line, diag.rule_id, diag.rule_name
+            ):
+                found.append(diag)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint files/directories; returns diagnostics sorted by location.
+
+    ``SyntaxError`` in a scanned file is reported as a diagnostic (code
+    ``E0``) rather than crashing the run.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    diagnostics: List[Diagnostic] = []
+    for path in collect_files(paths):
+        try:
+            ctx = _build_context(path)
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    rule_id="E0",
+                    rule_name="syntax-error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse module: {exc.msg}",
+                )
+            )
+            continue
+        diagnostics.extend(_run_rules(ctx, active))
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/example.py",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint a source string as if it lived at ``path`` (test helper)."""
+    active = list(rules) if rules is not None else all_rules()
+    ctx = ModuleContext(
+        path=path, source=source, tree=ast.parse(source, filename=path)
+    )
+    return sorted(_run_rules(ctx, active), key=Diagnostic.sort_key)

@@ -1,0 +1,78 @@
+"""Rule base class and registry.
+
+A rule is a class with ``rule_id``/``rule_name``/``protects`` metadata and
+a ``check(ctx)`` generator yielding :class:`~reprolint.diagnostics.Diagnostic`
+objects.  Registering is done with the :func:`rule` decorator; the CLI and
+engine discover rules through :data:`RULE_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
+
+from reprolint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from reprolint.engine import ModuleContext
+
+__all__ = ["Rule", "RULE_REGISTRY", "rule", "all_rules"]
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes below and implement
+    :meth:`check`; :meth:`applies_to` may narrow the rule to a subset of
+    files (hot paths, shipped code, ...).
+    """
+
+    #: Short stable code used in reports and suppressions ("R1").
+    rule_id: str = ""
+    #: Slug name, usable in suppressions ("csr-immutable").
+    rule_name: str = ""
+    #: One-line description of the invariant.
+    summary: str = ""
+    #: The paper statement this rule protects ("Theorem 4.5").
+    protects: str = ""
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        """Whether this rule scans ``ctx``; default: every file."""
+        return True
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``ctx``.  Subclasses must override."""
+        raise NotImplementedError
+
+    # Helper shared by subclasses -------------------------------------
+    def diagnostic(
+        self, ctx: "ModuleContext", node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule_id=self.rule_id,
+            rule_name=self.rule_name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass."""
+    if not cls.rule_id or not cls.rule_name:
+        raise ValueError(f"rule {cls.__name__} must set rule_id and rule_name")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, in rule-id order."""
+    import reprolint.rules  # noqa: F401  (registration side effect)
+
+    return [RULE_REGISTRY[key]() for key in sorted(RULE_REGISTRY)]

@@ -1,0 +1,21 @@
+"""Rule modules.  Importing this package registers every rule."""
+
+from reprolint.rules import (  # noqa: F401  (registration side effects)
+    bounds_api,
+    csr_immutable,
+    dtype_contracts,
+    hot_path_loops,
+    import_hygiene,
+    public_api,
+    typing_gate,
+)
+
+__all__ = [
+    "bounds_api",
+    "csr_immutable",
+    "dtype_contracts",
+    "hot_path_loops",
+    "import_hygiene",
+    "public_api",
+    "typing_gate",
+]

@@ -1,0 +1,73 @@
+"""R2 — eccentricity bounds change only through the BoundState API.
+
+Lemma 3.1 and Lemma 3.3 updates are monotone: lower bounds only rise,
+upper bounds only fall, and ``lower <= upper`` always holds.
+:class:`repro.core.bounds.BoundState` re-checks that invariant on every
+update; raw writes to ``state.lower`` / ``state.upper`` (or to arrays
+named ``ecc_lower`` / ``ecc_upper``) bypass the check and can turn an
+inconsistent distance vector into a silently wrong eccentricity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from reprolint import astutil
+from reprolint.config import BOUNDS_MODULE
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["BoundsApiRule"]
+
+_BOUND_ATTRS = frozenset({"lower", "upper"})
+_BOUND_NAMES = frozenset({"ecc_lower", "ecc_upper"})
+
+
+def _bound_target(node: ast.expr) -> Optional[str]:
+    """Describe the written bound array, or ``None`` if not one."""
+    if isinstance(node, ast.Subscript):
+        return _bound_target(node.value)
+    if isinstance(node, ast.Attribute) and node.attr in _BOUND_ATTRS:
+        return f".{node.attr}"
+    if isinstance(node, ast.Name) and node.id in _BOUND_NAMES:
+        return node.id
+    return None
+
+
+@rule
+class BoundsApiRule(Rule):
+    rule_id = "R2"
+    rule_name = "bounds-api"
+    summary = (
+        "ecc_lower/ecc_upper arrays are mutated only through the "
+        "BoundState methods in core/bounds.py."
+    )
+    protects = "Lemma 3.1 / Lemma 3.3 (monotone, consistent bound updates)"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.path != BOUNDS_MODULE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            # Class-level field declarations (`lower: np.ndarray`) inside a
+            # dataclass body are Name targets, not bound-array writes.
+            for target in astutil.assignment_targets(node):
+                described = _bound_target(target)
+                if described is None:
+                    continue
+                if isinstance(target, ast.Name) and isinstance(
+                    node, ast.AnnAssign
+                ):
+                    continue
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"direct write to bound array '{described}' outside "
+                    f"BoundState; use set_exact/apply_lemma31/"
+                    f"apply_lower_only/apply_lemma33_tail or a dedicated "
+                    f"BoundState method",
+                )

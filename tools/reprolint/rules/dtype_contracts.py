@@ -1,0 +1,157 @@
+"""R6 — docstring dtype contracts match the dtypes actually constructed.
+
+The memory accounting of Theorem 4.5 (and Figure 10's measurements)
+fixes the array layout: ``int64`` row pointers, ``int32`` neighbor ids
+and distances.  Docstrings declare these contracts with an explicit
+field line::
+
+    :dtype dist: int32
+
+The rule cross-checks every such declaration against the numpy
+construction sites of that variable inside the same function (``np.zeros``,
+``np.full``, ``.astype`` …) and flags mismatches.  Independently, the
+canonically named CSR variables ``indptr``/``indices`` must always be
+constructed with their canonical dtypes wherever an explicit ``dtype=``
+appears.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Tuple
+
+from reprolint.astutil import dtype_token, iter_functions
+from reprolint.config import CANONICAL_DTYPES, KNOWN_DTYPES, SRC_PREFIX
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["DtypeContractsRule", "parse_contracts"]
+
+_CONTRACT_RE = re.compile(r"^\s*:dtype\s+(\w+):\s*([\w.]+)\s*$", re.MULTILINE)
+
+_NUMPY_CTORS = frozenset(
+    {
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "array",
+        "asarray",
+        "arange",
+        "ascontiguousarray",
+        "fromiter",
+        "frombuffer",
+    }
+)
+
+
+def parse_contracts(docstring: str) -> Dict[str, Tuple[str, int]]:
+    """``{var_name: (dtype, offset_line)}`` from ``:dtype var: dt`` lines."""
+    out: Dict[str, Tuple[str, int]] = {}
+    for match in _CONTRACT_RE.finditer(docstring):
+        line = docstring.count("\n", 0, match.start())
+        out[match.group(1)] = (match.group(2).split(".")[-1], line)
+    return out
+
+
+def _constructed_dtype(value: ast.expr) -> Optional[str]:
+    """Dtype explicitly requested by a numpy construction expression."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        if value.args:
+            return dtype_token(value.args[0])
+        for keyword in value.keywords:
+            if keyword.arg == "dtype":
+                return dtype_token(keyword.value)
+        return None
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name in _NUMPY_CTORS:
+        for keyword in value.keywords:
+            if keyword.arg == "dtype":
+                return dtype_token(keyword.value)
+    return None
+
+
+def _assigned_name(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@rule
+class DtypeContractsRule(Rule):
+    rule_id = "R6"
+    rule_name = "dtype-contract"
+    summary = (
+        "':dtype name: <dtype>' docstring contracts (and the canonical "
+        "indptr=int64 / indices=int32 naming) match constructed dtypes."
+    )
+    protects = "Theorem 4.5 / Figure 10 (fixed int64/int32 memory layout)"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.is_under(SRC_PREFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for func in iter_functions(ctx.tree):
+            docstring = ctx.docstring_of(func)
+            contracts = parse_contracts(docstring) if docstring else {}
+            for var, (declared, _line) in contracts.items():
+                if declared not in KNOWN_DTYPES:
+                    yield self.diagnostic(
+                        ctx,
+                        func,
+                        f"docstring contract ':dtype {var}: {declared}' "
+                        f"uses an unknown dtype spelling",
+                    )
+            yield from self._check_body(ctx, func, contracts)
+
+    def _check_body(
+        self,
+        ctx: ModuleContext,
+        func: ast.AST,
+        contracts: Dict[str, Tuple[str, int]],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            constructed = _constructed_dtype(value)
+            if constructed is None or constructed not in KNOWN_DTYPES:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = _assigned_name(target)
+                if name is None:
+                    continue
+                if name in contracts:
+                    declared = contracts[name][0]
+                    if declared in KNOWN_DTYPES and constructed != declared:
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"'{name}' is constructed as {constructed} but "
+                            f"its docstring contract declares "
+                            f"':dtype {name}: {declared}'",
+                        )
+                elif name in CANONICAL_DTYPES:
+                    canonical = CANONICAL_DTYPES[name]
+                    if constructed != canonical:
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"CSR array '{name}' constructed as "
+                            f"{constructed}; the canonical layout is "
+                            f"{canonical} (Theorem 4.5)",
+                        )

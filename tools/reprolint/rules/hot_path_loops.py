@@ -1,0 +1,84 @@
+"""R4 — hot paths stay vectorised: no nested Python loops.
+
+The "scalable" claim (Figures 8 and 15) holds because frontier
+expansion, bound updates, and MS-BFS lane bookkeeping are whole-array
+numpy operations.  A nested Python-level ``for`` over ``range(...)`` in
+a hot module reintroduces interpreter-speed ``O(n * deg)`` work; so does
+materialising per-vertex neighbor lists inside a loop.
+
+Deliberate small-graph oracles (e.g. the Table 2 probe replay) carry a
+file-level waiver with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.astutil import walk_with_loops
+from reprolint.config import HOT_PATH_PREFIXES
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["HotPathLoopsRule"]
+
+
+def _is_range_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
+def _is_neighbors_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "neighbors"
+    )
+
+
+@rule
+class HotPathLoopsRule(Rule):
+    rule_id = "R4"
+    rule_name = "hot-path-loops"
+    summary = (
+        "No Python-level for-over-range nested inside another loop, and "
+        "no per-vertex neighbors() calls in loops, in hot-path modules."
+    )
+    protects = "Section 7.2 scalability results (vectorised O(m+n) sweeps)"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return any(ctx.is_under(prefix) for prefix in HOT_PATH_PREFIXES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node, loop_depth in walk_with_loops(ctx.tree):
+            if loop_depth < 1:
+                continue
+            if isinstance(node, ast.For) and _is_range_call(node.iter):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "for-over-range nested inside another loop in a "
+                    "hot-path module; vectorise with numpy array "
+                    "operations instead",
+                )
+            elif isinstance(node, ast.Call) and _is_neighbors_call(node):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "per-vertex neighbors() call inside a loop in a "
+                    "hot-path module; expand whole frontiers via "
+                    "indptr/indices slicing instead",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_range_call(gen.iter):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            "comprehension over range(...) inside a loop "
+                            "in a hot-path module; vectorise instead",
+                        )

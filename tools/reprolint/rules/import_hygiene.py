@@ -1,0 +1,67 @@
+"""R3 — shipped code imports only the stdlib, numpy, and itself.
+
+The paper's pitch is an *index-free* algorithm whose only substrate is a
+CSR array pair and a vectorised BFS.  ``networkx``/``scipy`` (and other
+heavyweight packages) are test- and benchmark-only oracles; importing
+them under ``src/repro/`` would add a hidden dependency to the shipped
+wheel and invite accidental fallbacks to non-scalable code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint import astutil
+from reprolint.config import (
+    ALLOWED_SRC_IMPORT_ROOTS,
+    BANNED_SRC_IMPORTS,
+    SRC_PREFIX,
+)
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["ImportHygieneRule"]
+
+
+@rule
+class ImportHygieneRule(Rule):
+    rule_id = "R3"
+    rule_name = "import-hygiene"
+    summary = (
+        "src/repro/ may import only the standard library, numpy, and "
+        "repro itself; networkx/scipy are test-only oracles."
+    )
+    protects = "Section 1 contribution 2 (index-free, dependency-free core)"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.is_under(SRC_PREFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        stdlib = astutil.stdlib_modules()
+        for node in ast.walk(ctx.tree):
+            roots = []
+            if isinstance(node, ast.Import):
+                roots = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import stays inside repro
+                    continue
+                if node.module:
+                    roots = [node.module.split(".")[0]]
+            for root in roots:
+                if root in BANNED_SRC_IMPORTS:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"import of '{root}' in shipped code; heavyweight "
+                        f"graph/scientific libraries are test- and "
+                        f"benchmark-only oracles",
+                    )
+                elif root not in stdlib and root not in ALLOWED_SRC_IMPORT_ROOTS:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"import of third-party module '{root}' in shipped "
+                        f"code; src/repro depends on numpy only",
+                    )

@@ -1,0 +1,75 @@
+"""R7 — shipped code is fully annotated (the local typing gate).
+
+``mypy --strict``-grade annotation coverage, enforced without needing
+mypy installed: every function and method under ``src/repro/`` must
+annotate each parameter (``self``/``cls`` excepted) and its return type.
+This keeps the ``py.typed`` promise honest and lets downstream users
+type-check against the package; CI additionally runs real mypy under
+the ``[tool.mypy]`` config in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from reprolint.astutil import iter_functions
+from reprolint.config import SRC_PREFIX
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["TypingGateRule"]
+
+
+def _unannotated_params(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> List[str]:
+    args = func.args
+    missing: List[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    return missing
+
+
+@rule
+class TypingGateRule(Rule):
+    rule_id = "R7"
+    rule_name = "typing-gate"
+    summary = (
+        "Every function/method in src/repro annotates all parameters "
+        "and its return type (mypy-strict-grade coverage)."
+    )
+    protects = "the py.typed contract (PEP 561) and mypy gating"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.is_under(SRC_PREFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for func in iter_functions(ctx.tree):
+            missing = _unannotated_params(func)
+            if missing:
+                listed = ", ".join(f"'{name}'" for name in missing)
+                yield self.diagnostic(
+                    ctx,
+                    func,
+                    f"function '{func.name}' has unannotated "
+                    f"parameter(s): {listed}",
+                )
+            if func.returns is None:
+                yield self.diagnostic(
+                    ctx,
+                    func,
+                    f"function '{func.name}' has no return annotation",
+                )

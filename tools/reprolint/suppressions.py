@@ -1,0 +1,73 @@
+"""Suppression-comment parsing.
+
+Two escape hatches, mirroring common linter conventions:
+
+* line-level — ``# reprolint: disable=R1`` (or the rule's slug name, or a
+  comma-separated list, or ``all``) on the offending line, or alone on the
+  line directly above it;
+* file-level — ``# reprolint: disable-file=R4`` anywhere in the module,
+  silencing that rule for the entire file.
+
+Suppressions are deliberately loud in the source: grep for ``reprolint:``
+to audit every waiver in the repository.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+def _split_codes(raw: str) -> Set[str]:
+    return {code.strip().lower() for code in raw.split(",") if code.strip()}
+
+
+class SuppressionIndex:
+    """Answers "is rule X suppressed at line N of this file?"."""
+
+    def __init__(
+        self,
+        line_level: Dict[int, FrozenSet[str]],
+        file_level: FrozenSet[str],
+        comment_only_lines: FrozenSet[int],
+    ) -> None:
+        self._line_level = line_level
+        self._file_level = file_level
+        self._comment_only = comment_only_lines
+
+    def is_suppressed(self, line: int, rule_id: str, rule_name: str) -> bool:
+        keys = {rule_id.lower(), rule_name.lower(), "all"}
+        if self._file_level & keys:
+            return True
+        direct = self._line_level.get(line, frozenset())
+        if direct & keys:
+            return True
+        # A stand-alone suppression comment guards the statement below it.
+        above = line - 1
+        if above in self._comment_only:
+            return bool(self._line_level.get(above, frozenset()) & keys)
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index for one module's source text."""
+    line_level: Dict[int, FrozenSet[str]] = {}
+    file_level: Set[str] = set()
+    comment_only: Set[int] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        file_match = _FILE_RE.search(text)
+        if file_match:
+            file_level |= _split_codes(file_match.group(1))
+            continue
+        line_match = _LINE_RE.search(text)
+        if line_match:
+            line_level[lineno] = frozenset(_split_codes(line_match.group(1)))
+            if _COMMENT_ONLY_RE.match(text):
+                comment_only.add(lineno)
+    return SuppressionIndex(line_level, frozenset(file_level), comment_only)
