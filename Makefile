@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test bench examples results clean lint typecheck check
+.PHONY: install test bench bench-smoke examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,6 +29,12 @@ check: test lint typecheck
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick BFS-engine perf check (CI runs this and uploads the JSON): seed
+# kernel vs. top-down-only vs. direction-optimizing hybrid on the
+# generator suite; writes BENCH_bfs_engine.json at the repo root.
+bench-smoke:
+	python benchmarks/bench_bfs_engine.py --smoke
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,288 @@
+"""BFS engine benchmark — seed kernel vs. top-down-only vs. hybrid.
+
+First point of the repo's perf trajectory: times the direction-optimizing
+pooled-workspace :class:`repro.graph.engine.BFSEngine` against (a) a
+faithful copy of the seed level-synchronous kernel (per-run allocation,
+``np.unique`` frontier dedupe) and (b) the engine forced top-down, on the
+generator suite (paper example, random power-law, grid, star).  Writes
+machine-readable ``BENCH_bfs_engine.json`` at the repository root with
+per-level direction decisions and edges-inspected counts, so Figure
+8-style runtime claims are auditable.
+
+Run standalone::
+
+    python benchmarks/bench_bfs_engine.py            # full suite (n >= 50k)
+    python benchmarks/bench_bfs_engine.py --smoke    # CI-sized graphs
+
+or via pytest (smoke-sized, asserts the shape claims)::
+
+    pytest benchmarks/bench_bfs_engine.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.engine import BFSEngine
+from repro.graph.generators import (
+    barabasi_albert,
+    grid_graph,
+    paper_example_graph,
+    star_graph,
+)
+from repro.graph.traversal import UNREACHED
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_bfs_engine.json"
+
+#: The aggregate-speedup claim the JSON must witness on the power-law
+#: graph (hybrid vs. seed kernel) in full mode.
+TARGET_SPEEDUP = 1.5
+
+
+# ----------------------------------------------------------------------
+# Seed kernel (faithful copy of the pre-engine bfs_distances_bounded)
+# ----------------------------------------------------------------------
+def seed_bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """The original level-synchronous kernel: fresh O(n) state per run,
+    every duplicate neighbor materialised, ``np.unique`` sort per level."""
+    indptr, indices = graph.indptr, graph.indices
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        csum = np.cumsum(counts)
+        offsets = np.repeat(starts - (csum - counts), counts)
+        neighbors = indices[np.arange(total, dtype=np.int64) + offsets]
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        level += 1
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Suite definition
+# ----------------------------------------------------------------------
+def suite_graphs(smoke: bool) -> Dict[str, Tuple[str, Graph]]:
+    """Benchmark graphs: ``name -> (family, graph)``."""
+    if smoke:
+        return {
+            "paper-example": ("paper example", paper_example_graph()),
+            "powerlaw-4k": (
+                "random power-law",
+                barabasi_albert(4_000, 4, seed=7),
+            ),
+            "grid-40x30": ("grid", grid_graph(40, 30)),
+            "star-3k": ("star", star_graph(3_000)),
+        }
+    return {
+        "paper-example": ("paper example", paper_example_graph()),
+        "powerlaw-50k": (
+            "random power-law",
+            barabasi_albert(50_000, 4, seed=7),
+        ),
+        "grid-250x200": ("grid", grid_graph(250, 200)),
+        "star-50k": ("star", star_graph(50_000)),
+    }
+
+
+def pick_sources(graph: Graph, count: int, seed: int = 0) -> List[int]:
+    """Max-degree vertex plus seeded random vertices (BFS sources)."""
+    rng = np.random.default_rng(seed)
+    sources = [graph.max_degree_vertex()]
+    while len(sources) < min(count, graph.num_vertices):
+        v = int(rng.integers(0, graph.num_vertices))
+        if v not in sources:
+            sources.append(v)
+    return sources
+
+
+def _time_total(
+    kernel: Callable[[int], np.ndarray],
+    sources: Sequence[int],
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` total seconds to run ``kernel`` on all sources."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for s in sources:
+            kernel(s)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_graph(
+    name: str,
+    family: str,
+    graph: Graph,
+    num_sources: int,
+    repeats: int,
+) -> Dict[str, object]:
+    """Time the three kernels on one graph and audit the hybrid runs."""
+    sources = pick_sources(graph, num_sources)
+    # Dedicated engines so pooled buffers are warm but stats are ours.
+    hybrid = BFSEngine(graph)
+    topdown = BFSEngine(graph)
+
+    # Correctness audit + per-run direction/edge accounting (untimed).
+    runs: List[Dict[str, object]] = []
+    for s in sources:
+        expected = seed_bfs_distances(graph, s)
+        got = hybrid.run(s, mode="hybrid")
+        if not np.array_equal(expected, got):
+            raise AssertionError(
+                f"hybrid BFS disagrees with seed kernel on {name}, "
+                f"source {s}"
+            )
+        stats = hybrid.last_stats
+        runs.append(
+            {
+                "source": s,
+                "eccentricity": hybrid.last_ecc,
+                "levels": stats.levels,
+                "directions": list(stats.directions),
+                "frontier_sizes": list(stats.frontier_sizes),
+                "edges_scanned": stats.edges_scanned,
+                "edges_inspected": stats.edges_inspected,
+            }
+        )
+
+    seed_s = _time_total(lambda s: seed_bfs_distances(graph, s), sources, repeats)
+    td_s = _time_total(lambda s: topdown.run(s, mode="top-down"), sources, repeats)
+    hy_s = _time_total(lambda s: hybrid.run(s, mode="hybrid"), sources, repeats)
+    return {
+        "name": name,
+        "family": family,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "sources": sources,
+        "repeats": repeats,
+        "seed_seconds": seed_s,
+        "topdown_seconds": td_s,
+        "hybrid_seconds": hy_s,
+        "speedup_topdown_vs_seed": seed_s / td_s if td_s else float("inf"),
+        "speedup_hybrid_vs_seed": seed_s / hy_s if hy_s else float("inf"),
+        "runs": runs,
+    }
+
+
+def run_suite(
+    smoke: bool,
+    num_sources: int,
+    repeats: int,
+    out_path: Path,
+) -> Dict[str, object]:
+    """Run every suite graph and write the JSON report."""
+    from repro.graph.engine import ALPHA, BETA
+
+    graphs = suite_graphs(smoke)
+    results = []
+    for name, (family, graph) in graphs.items():
+        print(
+            f"[bench_bfs_engine] {name}: n={graph.num_vertices} "
+            f"m={graph.num_edges} ..."
+        )
+        entry = bench_graph(name, family, graph, num_sources, repeats)
+        print(
+            "  seed {seed_seconds:.4f}s  top-down {topdown_seconds:.4f}s  "
+            "hybrid {hybrid_seconds:.4f}s  (hybrid speedup "
+            "{speedup_hybrid_vs_seed:.2f}x)".format(**entry)  # type: ignore[str-format]
+        )
+        results.append(entry)
+    powerlaw = next(r for r in results if r["family"] == "random power-law")
+    report: Dict[str, object] = {
+        "schema": "bench_bfs_engine/v1",
+        "mode": "smoke" if smoke else "full",
+        "alpha": ALPHA,
+        "beta": BETA,
+        "target_speedup": TARGET_SPEEDUP,
+        "graphs": results,
+        "aggregate": {
+            "seed_seconds": sum(r["seed_seconds"] for r in results),  # type: ignore[misc]
+            "topdown_seconds": sum(r["topdown_seconds"] for r in results),  # type: ignore[misc]
+            "hybrid_seconds": sum(r["hybrid_seconds"] for r in results),  # type: ignore[misc]
+            "powerlaw_speedup_hybrid_vs_seed": powerlaw[
+                "speedup_hybrid_vs_seed"
+            ],
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_bfs_engine] wrote {out_path}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke-sized, asserts the shape claims)
+# ----------------------------------------------------------------------
+def test_engine_beats_seed_kernel(benchmark) -> None:  # type: ignore[no-untyped-def]
+    """Hybrid ≡ seed on every suite graph; bottom-up fires on the dense
+    families; the JSON report lands at the repo root."""
+    report = benchmark.pedantic(
+        lambda: run_suite(
+            smoke=True, num_sources=3, repeats=1, out_path=DEFAULT_OUT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    graphs = {g["name"]: g for g in report["graphs"]}
+    # Direction switching engages on the scale-free and star families.
+    powerlaw_dirs = [
+        d for r in graphs["powerlaw-4k"]["runs"] for d in r["directions"]
+    ]
+    star_dirs = [d for r in graphs["star-3k"]["runs"] for d in r["directions"]]
+    assert "bu" in powerlaw_dirs
+    assert "bu" in star_dirs
+    # Bottom-up levels inspect edges they never scan.
+    for r in graphs["powerlaw-4k"]["runs"]:
+        assert r["edges_inspected"] >= r["edges_scanned"]
+    assert DEFAULT_OUT.exists()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized graphs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="output JSON path (default: repo-root BENCH_bfs_engine.json)",
+    )
+    parser.add_argument("--sources", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    num_sources = args.sources if args.sources else (3 if args.smoke else 8)
+    report = run_suite(args.smoke, num_sources, args.repeats, args.out)
+    speedup = report["aggregate"]["powerlaw_speedup_hybrid_vs_seed"]  # type: ignore[index]
+    if not args.smoke and speedup < TARGET_SPEEDUP:
+        print(
+            f"WARNING: hybrid speedup {speedup:.2f}x below the "
+            f"{TARGET_SPEEDUP}x target on the power-law graph"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,8 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+from repro.graph.engine import BFSEngine, engine_for
+from repro.graph.traversal import BFSCounter
 
 __all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
 
@@ -89,7 +90,15 @@ def compute_ffo(
     graph: Graph,
     source: int,
     counter: Optional[BFSCounter] = None,
+    engine: Optional[BFSEngine] = None,
 ) -> FarthestFirstOrder:
-    """Run one BFS from ``source`` and return its FFO (Algorithm 2, line 4)."""
-    _, distances = eccentricity_and_distances(graph, source, counter=counter)
+    """Run one BFS from ``source`` and return its FFO (Algorithm 2, line 4).
+
+    ``engine`` lets callers that run many traversals (IFECC's sweep)
+    reuse one pooled-workspace engine; the FFO retains the distance
+    vector, so it is copied out of the pooled buffer.
+    """
+    if engine is None:
+        engine = engine_for(graph)
+    distances = engine.run(source, counter=counter).copy()
     return farthest_first_order(distances, source)

@@ -36,11 +36,8 @@ from repro.core.result import EccentricityResult, ProgressSnapshot
 from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.components import split_components
 from repro.graph.csr import Graph
-from repro.graph.traversal import (
-    UNREACHED,
-    BFSCounter,
-    eccentricity_and_distances,
-)
+from repro.graph.engine import engine_for
+from repro.graph.traversal import UNREACHED, BFSCounter
 
 __all__ = ["IFECC", "compute_eccentricities", "eccentricities_per_component"]
 
@@ -109,10 +106,14 @@ class IFECC:
             graph, self.num_references, seed
         )
         self._territories: List[_Territory] = []
+        # Shared pooled-workspace BFS engine: the FFO-ordered sweep runs
+        # one BFS per probed source, all on this graph, so per-run
+        # allocation would dominate at scale.
+        self._engine = engine_for(graph)
         # source id -> (ecc, distance vector) for sources whose BFS result
         # is retained: always the references, plus every BFS source when
         # memoize_distances is on.
-        self._known: dict = {}
+        self._known: dict[int, tuple[int, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Phase 1: reference BFS + territory assignment (Algorithm 2, 1-9)
@@ -122,7 +123,9 @@ class IFECC:
         n = graph.num_vertices
         ffos: List[FarthestFirstOrder] = []
         for z in self.references:
-            ffo = compute_ffo(graph, int(z), counter=self.counter)
+            ffo = compute_ffo(
+                graph, int(z), counter=self.counter, engine=self._engine
+            )
             if np.any(ffo.distances == UNREACHED):
                 raise DisconnectedGraphError(
                     num_components=len(split_components(graph))
@@ -188,14 +191,16 @@ class IFECC:
                 ecc_s, dist_s = self._known[source]
                 fresh_bfs = False
             else:
-                ecc_s, dist_s = eccentricity_and_distances(
-                    self.graph, source, counter=self.counter
-                )
+                # Pooled-buffer BFS: dist_s aliases the engine workspace
+                # and is consumed before the next run; only the memoised
+                # copy outlives this iteration.
+                dist_s = self._engine.run(source, counter=self.counter)
+                ecc_s = self._engine.last_ecc
                 # The BFS determines ecc(source) exactly even if `source`
                 # belongs to another territory.
                 bounds.set_exact(source, ecc_s)
                 if self.memoize_distances:
-                    self._known[source] = (ecc_s, dist_s)
+                    self._known[source] = (ecc_s, dist_s.copy())
                 fresh_bfs = True
             # Lemma 3.1 (lower) for the territory...
             bounds.raise_lower_subset(unresolved, dist_s[unresolved])

@@ -6,6 +6,7 @@ algorithm in :mod:`repro.core` and :mod:`repro.baselines` builds on.
 """
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.engine import BFSEngine, BFSRunStats, engine_for
 from repro.graph.components import (
     connected_components,
     is_connected,
@@ -28,6 +29,9 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "BFSCounter",
+    "BFSEngine",
+    "BFSRunStats",
+    "engine_for",
     "UNREACHED",
     "bfs_distances",
     "eccentricity",

@@ -50,7 +50,10 @@ class Graph:
         :meth:`check_symmetric`).
     """
 
-    __slots__ = ("_indptr", "_indices", "_degrees")
+    # __weakref__ lets the per-graph BFS engine cache
+    # (repro.graph.engine.engine_for) key off live graphs without
+    # pinning them in memory.
+    __slots__ = ("_indptr", "_indices", "_degrees", "__weakref__")
 
     def __init__(
         self,

@@ -1,11 +1,14 @@
-"""Breadth-first-search engine.
+"""Breadth-first-search entry points.
 
 Every algorithm in the paper — IFECC, kIFECC, PLLECC, BoundECC, kBFS, the
 naive |V|-BFS baseline and SNAP's diameter estimator — reduces to a sequence
 of single-source BFS computations on an unweighted graph.  This module
-provides that primitive once, vectorised with numpy so that the level-
-synchronous frontier expansion touches each edge with array operations
-instead of Python-level loops.
+provides that primitive once; the actual kernel lives in
+:mod:`repro.graph.engine`, a direction-optimizing (top-down / bottom-up)
+BFS with pooled per-graph workspace buffers.  The functions here are thin
+wrappers over the per-graph cached :class:`repro.graph.engine.BFSEngine`,
+so callers keep the simple functional API while repeated traversals of one
+graph stop paying per-run allocation.
 
 The central entry points are:
 
@@ -30,8 +33,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidVertexError
 from repro.graph.csr import Graph
+from repro.graph.engine import UNREACHED, engine_for, gather_csr_arcs
 
 __all__ = [
     "UNREACHED",
@@ -44,9 +47,6 @@ __all__ = [
     "all_pairs_distances",
 ]
 
-#: Sentinel distance for vertices not reached by a traversal.
-UNREACHED = np.int32(-1)
-
 
 @dataclass
 class BFSCounter:
@@ -56,17 +56,35 @@ class BFSCounter:
     BFSs" (Section 7.3) and reports exact algorithms by BFS count in the
     case study (Section 7.5); benchmarks thread one counter through an
     algorithm run to recover those numbers.
+
+    ``edges_scanned`` counts arcs expanded top-down (the classic BFS cost
+    metric); ``edges_inspected`` additionally includes the arcs that
+    bottom-up levels of the direction-optimizing engine examined while
+    probing unvisited vertices — edges that are inspected but never
+    "scanned".  For a purely top-down traversal the two are equal.
     """
 
     bfs_runs: int = 0
     edges_scanned: int = 0
+    edges_inspected: int = 0
     vertices_visited: int = 0
-    history: list = field(default_factory=list)
+    history: list[str] = field(default_factory=list)
 
-    def record(self, edges: int, vertices: int, label: str = "") -> None:
-        """Record one completed BFS."""
+    def record(
+        self,
+        edges: int,
+        vertices: int,
+        label: str = "",
+        inspected: Optional[int] = None,
+    ) -> None:
+        """Record one completed BFS.
+
+        ``inspected`` defaults to ``edges`` (a traversal that never ran
+        bottom-up inspects exactly what it scans).
+        """
         self.bfs_runs += 1
         self.edges_scanned += edges
+        self.edges_inspected += edges if inspected is None else inspected
         self.vertices_visited += vertices
         if label:
             self.history.append(label)
@@ -75,24 +93,18 @@ class BFSCounter:
         """Fold another counter's totals into this one."""
         self.bfs_runs += other.bfs_runs
         self.edges_scanned += other.edges_scanned
+        self.edges_inspected += other.edges_inspected
         self.vertices_visited += other.vertices_visited
         self.history.extend(other.history)
 
 
 def _expand_frontier(graph: Graph, frontier: np.ndarray) -> np.ndarray:
     """Concatenated neighbor ids of all frontier vertices (with duplicates)."""
-    indptr = graph.indptr
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int32)
-    # Positions into `indices`: for frontier vertex i the slice
-    # [starts[i], starts[i] + counts[i]) is laid out contiguously in `out`.
-    csum = np.cumsum(counts)
-    offsets = np.repeat(starts - (csum - counts), counts)
-    positions = np.arange(total, dtype=np.int64) + offsets
-    return graph.indices[positions]
+    counts = graph.indptr[frontier + 1] - graph.indptr[frontier]
+    neighbors, _seg = gather_csr_arcs(
+        graph.indptr, graph.indices, frontier, counts
+    )
+    return neighbors
 
 
 def bfs_distances(
@@ -121,36 +133,9 @@ def bfs_distances_bounded(
 
     :dtype dist: int32
     """
-    if limit is not None and limit < 0:
-        from repro.errors import InvalidParameterError
-
-        raise InvalidParameterError("limit must be non-negative")
-    n = graph.num_vertices
-    if not 0 <= source < n:
-        raise InvalidVertexError(source, n)
-    dist = np.full(n, UNREACHED, dtype=np.int32)
-    dist[source] = 0
-    frontier = np.asarray([source], dtype=np.int64)
-    level = 0
-    edges = 0
-    visited = 1
-    while frontier.size:
-        if limit is not None and level >= limit:
-            break
-        neighbors = _expand_frontier(graph, frontier)
-        edges += len(neighbors)
-        if len(neighbors) == 0:
-            break
-        fresh = neighbors[dist[neighbors] == UNREACHED]
-        if len(fresh) == 0:
-            break
-        level += 1
-        dist[fresh] = level
-        frontier = np.unique(fresh).astype(np.int64)
-        visited += len(frontier)
-    if counter is not None:
-        counter.record(edges, visited, label=f"bfs:{source}")
-    return dist
+    engine = engine_for(graph)
+    # The engine returns its pooled buffer; copy so callers own the result.
+    return engine.run(source, limit=limit, counter=counter).copy()
 
 
 def eccentricity(
@@ -159,8 +144,9 @@ def eccentricity(
     counter: Optional[BFSCounter] = None,
 ) -> int:
     """Eccentricity of ``source`` within its connected component."""
-    ecc, _dist = eccentricity_and_distances(graph, source, counter=counter)
-    return ecc
+    engine = engine_for(graph)
+    engine.run(source, counter=counter)
+    return engine.last_ecc
 
 
 def eccentricity_and_distances(
@@ -173,9 +159,9 @@ def eccentricity_and_distances(
     The eccentricity is taken over the reachable vertices only, matching
     the paper's connected-graph convention (footnote 2).
     """
-    dist = bfs_distances(graph, source, counter=counter)
-    reachable = dist[dist != UNREACHED]
-    return int(reachable.max()) if len(reachable) else 0, dist
+    engine = engine_for(graph)
+    dist = engine.run(source, counter=counter)
+    return engine.last_ecc, dist.copy()
 
 
 def multi_source_bfs(
@@ -196,56 +182,10 @@ def multi_source_bfs(
 
     :dtype dist: int32
     :dtype owner: int32
-    :dtype priority: int64
     """
-    n = graph.num_vertices
-    src = np.asarray(list(sources), dtype=np.int64)
-    if len(src) == 0:
-        return (
-            np.full(n, UNREACHED, dtype=np.int32),
-            np.full(n, -1, dtype=np.int32),
-        )
-    for s in src:
-        if not 0 <= s < n:
-            raise InvalidVertexError(int(s), n)
-    dist = np.full(n, UNREACHED, dtype=np.int32)
-    owner = np.full(n, -1, dtype=np.int32)
-    # priority[s] = position of source s in `sources` (earlier wins ties).
-    priority = np.full(n, n, dtype=np.int64)
-    for pos, s in enumerate(src):
-        if priority[s] == n:
-            priority[s] = pos
-            dist[s] = 0
-            owner[s] = s
-    frontier = np.unique(src)
-    level = 0
-    edges = 0
-    while frontier.size:
-        neighbors = _expand_frontier(graph, frontier)
-        edges += len(neighbors)
-        if len(neighbors) == 0:
-            break
-        # Propagate owners: expand per-frontier-vertex so each neighbor
-        # inherits the owner of the frontier vertex that discovered it.
-        indptr = graph.indptr
-        counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
-        owners_expanded = np.repeat(owner[frontier], counts)
-        unseen = dist[neighbors] == UNREACHED
-        fresh = neighbors[unseen]
-        fresh_owner = owners_expanded[unseen]
-        if len(fresh) == 0:
-            break
-        level += 1
-        # Among duplicate discoveries of the same vertex, the owner with
-        # the best (smallest) source priority wins the tie.
-        rank = np.lexsort((priority[fresh_owner], fresh))
-        uniq, first_idx = np.unique(fresh[rank], return_index=True)
-        dist[uniq] = level
-        owner[uniq] = fresh_owner[rank[first_idx]]
-        frontier = uniq.astype(np.int64)
-    if counter is not None:
-        counter.record(edges, int(np.count_nonzero(dist != UNREACHED)))
-    return dist, owner
+    engine = engine_for(graph)
+    dist, owner = engine.run_multi(sources, counter=counter)
+    return dist.copy(), owner.copy()
 
 
 def all_pairs_distances(

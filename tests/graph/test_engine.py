@@ -1,0 +1,282 @@
+"""Property-based equivalence suite for the direction-optimizing engine.
+
+The engine must change *speed only, never answers*: hybrid (and both
+forced directions) must agree bit-for-bit with the seed level-synchronous
+kernel on every graph, under depth truncation, and across pooled-buffer
+reuse.  The seed kernel is reproduced verbatim here as the oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, InvalidVertexError
+from repro.graph.csr import Graph
+from repro.graph.engine import BFSEngine, engine_for
+from repro.graph.generators import (
+    barabasi_albert,
+    paper_example_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.traversal import (
+    UNREACHED,
+    BFSCounter,
+    bfs_distances,
+    bfs_distances_bounded,
+    multi_source_bfs,
+)
+
+from helpers import random_connected_graph
+
+MODES = ("hybrid", "top-down", "bottom-up")
+
+
+# ----------------------------------------------------------------------
+# Seed-kernel oracles (faithful copies of the pre-engine implementations)
+# ----------------------------------------------------------------------
+def seed_bfs_distances(graph, source, limit=None):
+    indptr, indices = graph.indptr, graph.indices
+    dist = np.full(graph.num_vertices, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        if limit is not None and level >= limit:
+            break
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        csum = np.cumsum(counts)
+        offsets = np.repeat(starts - (csum - counts), counts)
+        neighbors = indices[np.arange(total, dtype=np.int64) + offsets]
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        level += 1
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    return dist
+
+
+def seed_multi_source_bfs(graph, sources):
+    n = graph.num_vertices
+    src = np.asarray(list(sources), dtype=np.int64)
+    if len(src) == 0:
+        return (
+            np.full(n, UNREACHED, dtype=np.int32),
+            np.full(n, -1, dtype=np.int32),
+        )
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    owner = np.full(n, -1, dtype=np.int32)
+    priority = np.full(n, n, dtype=np.int64)
+    for pos, s in enumerate(src):
+        if priority[s] == n:
+            priority[s] = pos
+            dist[s] = 0
+            owner[s] = s
+    frontier = np.unique(src)
+    indptr, indices = graph.indptr, graph.indices
+    level = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = (indptr[frontier + 1] - starts).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            break
+        csum = np.cumsum(counts)
+        offsets = np.repeat(starts - (csum - counts), counts)
+        neighbors = indices[np.arange(total, dtype=np.int64) + offsets]
+        owners_expanded = np.repeat(owner[frontier], counts)
+        unseen = dist[neighbors] == UNREACHED
+        fresh = neighbors[unseen]
+        fresh_owner = owners_expanded[unseen]
+        if len(fresh) == 0:
+            break
+        level += 1
+        rank = np.lexsort((priority[fresh_owner], fresh))
+        uniq, first_idx = np.unique(fresh[rank], return_index=True)
+        dist[uniq] = level
+        owner[uniq] = fresh_owner[rank[first_idx]]
+        frontier = uniq.astype(np.int64)
+    return dist, owner
+
+
+def random_graph(n, num_edges, seed):
+    """Random graph, possibly disconnected (no spanning tree guarantee)."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (int(rng.integers(0, n)), int(rng.integers(0, n)))
+        for _ in range(num_edges)
+    ]
+    edges = [(u, v) for u, v in edges if u != v]
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+def graph_corpus():
+    """~50 graphs: random (connected and disconnected), star, path,
+    single-vertex, and the structured generator families."""
+    graphs = [
+        Graph.from_edges([], num_vertices=1),  # single vertex
+        Graph.from_edges([], num_vertices=7),  # only isolated vertices
+        path_graph(1),
+        path_graph(2),
+        path_graph(60),
+        star_graph(2),
+        star_graph(100),
+        paper_example_graph(),
+        barabasi_albert(300, 3, seed=11),
+    ]
+    for seed in range(20):
+        n = 5 + seed * 3
+        graphs.append(random_graph(n, n + seed, seed))  # often disconnected
+    for seed in range(20):
+        n = 4 + seed * 4
+        graphs.append(random_connected_graph(n, 2 * seed, seed))
+    return graphs
+
+
+CORPUS = graph_corpus()
+
+
+class TestHybridEquivalence:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_corpus_matches_seed_kernel(self, mode):
+        for i, graph in enumerate(CORPUS):
+            engine = BFSEngine(graph)
+            n = graph.num_vertices
+            for source in range(0, n, max(1, n // 5)):
+                expected = seed_bfs_distances(graph, source)
+                got = engine.run(source, mode=mode)
+                assert np.array_equal(expected, got), (
+                    f"graph #{i} (n={n}), source {source}, mode {mode}"
+                )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_limit_truncation_agrees(self, mode):
+        for i, graph in enumerate(CORPUS[::3]):
+            engine = BFSEngine(graph)
+            n = graph.num_vertices
+            for limit in (0, 1, 2, 5):
+                expected = seed_bfs_distances(graph, 0, limit=limit)
+                got = engine.run(0, limit=limit, mode=mode)
+                assert np.array_equal(expected, got), (
+                    f"graph #{3 * i} (n={n}), limit {limit}, mode {mode}"
+                )
+
+    def test_buffer_reuse_matches_fresh_engine(self):
+        graph = barabasi_albert(400, 3, seed=5)
+        shared = BFSEngine(graph)
+        for source in (0, 7, 123, 7, 399):
+            fresh = BFSEngine(graph).run(source).copy()
+            again = shared.run(source)
+            assert np.array_equal(fresh, again)
+            # Back-to-back runs on one engine are self-consistent too.
+            assert np.array_equal(again.copy(), shared.run(source))
+
+    def test_wrapper_copies_out_of_pool(self):
+        graph = path_graph(30)
+        first = bfs_distances(graph, 0)
+        second = bfs_distances(graph, 29)
+        # If the wrapper leaked the pooled buffer these would alias.
+        assert first[0] == 0 and second[29] == 0
+        assert not np.shares_memory(first, second)
+
+    def test_ecc_tracking(self):
+        graph = paper_example_graph()
+        engine = BFSEngine(graph)
+        for source in range(graph.num_vertices):
+            dist = engine.run(source)
+            assert engine.last_ecc == int(dist.max())
+
+    def test_stats_record_directions_and_edges(self):
+        graph = star_graph(2000)
+        engine = BFSEngine(graph)
+        engine.run(3)  # leaf: level 2 is the dense one
+        stats = engine.last_stats
+        assert stats.levels == 2
+        assert "bu" in stats.directions
+        assert stats.edges_inspected >= stats.edges_scanned
+        assert stats.frontier_sizes == [1, 1998]
+
+    def test_counter_inspected_accounting(self):
+        graph = star_graph(500)
+        counter = BFSCounter()
+        bfs_distances(graph, 1, counter=counter)
+        assert counter.bfs_runs == 1
+        assert counter.edges_inspected >= counter.edges_scanned
+        merged = BFSCounter()
+        merged.merge(counter)
+        assert merged.edges_inspected == counter.edges_inspected
+
+    def test_invalid_inputs(self):
+        graph = path_graph(4)
+        engine = BFSEngine(graph)
+        with pytest.raises(InvalidVertexError):
+            engine.run(4)
+        with pytest.raises(InvalidVertexError):
+            engine.run(-1)
+        with pytest.raises(InvalidParameterError):
+            engine.run(0, limit=-1)
+        with pytest.raises(InvalidParameterError):
+            engine.run(0, mode="sideways")
+        with pytest.raises(InvalidParameterError):
+            BFSEngine(graph, alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            bfs_distances_bounded(graph, 0, limit=-2)
+
+    def test_engine_cache_is_per_graph(self):
+        g1 = path_graph(5)
+        g2 = path_graph(5)
+        assert engine_for(g1) is engine_for(g1)
+        assert engine_for(g1) is not engine_for(g2)
+
+
+class TestMultiSourceEquivalence:
+    def test_corpus_matches_seed_kernel(self):
+        rng = np.random.default_rng(99)
+        for i, graph in enumerate(CORPUS):
+            n = graph.num_vertices
+            k = int(rng.integers(1, min(n, 6) + 1))
+            sources = [int(rng.integers(0, n)) for _ in range(k)]
+            sources += sources[:1]  # exercise duplicate sources
+            exp_dist, exp_owner = seed_multi_source_bfs(graph, sources)
+            got_dist, got_owner = multi_source_bfs(graph, sources)
+            assert np.array_equal(exp_dist, got_dist), f"graph #{i}"
+            assert np.array_equal(exp_owner, got_owner), f"graph #{i}"
+
+    def test_empty_sources(self):
+        graph = path_graph(5)
+        dist, owner = multi_source_bfs(graph, [])
+        assert (dist == UNREACHED).all()
+        assert (owner == -1).all()
+
+    def test_invalid_source_vectorised_check(self):
+        graph = path_graph(5)
+        with pytest.raises(InvalidVertexError):
+            multi_source_bfs(graph, [0, 5])
+        with pytest.raises(InvalidVertexError):
+            multi_source_bfs(graph, [-1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    num_edges=st.integers(min_value=0, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mode=st.sampled_from(MODES),
+    data=st.data(),
+)
+def test_property_engine_equals_seed(n, num_edges, seed, mode, data):
+    """Hypothesis: any random (possibly disconnected) graph, any source,
+    any mode, with and without limit."""
+    graph = random_graph(n, num_edges, seed)
+    source = data.draw(st.integers(min_value=0, max_value=n - 1))
+    limit = data.draw(st.one_of(st.none(), st.integers(0, 8)))
+    engine = engine_for(graph)
+    expected = seed_bfs_distances(graph, source, limit=limit)
+    got = engine.run(source, limit=limit, mode=mode)
+    assert np.array_equal(expected, got)

@@ -51,6 +51,7 @@ ALLOWED_SRC_IMPORT_ROOTS = frozenset({"numpy", "repro"})
 #: interpreter time".
 HOT_PATH_PREFIXES = (
     "src/repro/core/",
+    "src/repro/graph/engine.py",
     "src/repro/graph/traversal.py",
     "src/repro/graph/msbfs.py",
 )
