@@ -1,12 +1,22 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test bench bench-smoke examples results clean lint typecheck check
+.PHONY: install test tier-guard bench bench-smoke examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Guard: the weighted and directed suites ride in the default pytest
+# tier (pyproject testpaths = ["tests"]).  Fails if a config change
+# silently stops collecting them — the metric-generic solver's
+# value-identity guarantees live in those suites.
+tier-guard:
+	@out=$$(pytest tests/weighted tests/directed --collect-only -q); \
+	echo "$$out" | grep -Eq "tests/weighted/.+: [1-9]" \
+		&& echo "$$out" | grep -Eq "tests/directed/.+: [1-9]" \
+		|| { echo "tier-guard: tests/weighted + tests/directed collect no tests"; exit 1; }
 
 # Invariant-aware static analysis (tools/reprolint); exits non-zero on
 # any rule violation.  Run `python -m reprolint --list-rules` for the
@@ -24,8 +34,9 @@ typecheck:
 		echo "mypy not installed (pip install -e '.[dev]'); skipping typecheck"; \
 	fi
 
-# Everything a PR must pass: tier-1 tests, reprolint, and the type gate.
-check: test lint typecheck
+# Everything a PR must pass: tier-1 tests (weighted/directed tier
+# membership included), reprolint, and the type gate.
+check: test tier-guard lint typecheck
 
 bench:
 	pytest benchmarks/ --benchmark-only

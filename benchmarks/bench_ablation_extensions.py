@@ -27,9 +27,11 @@ from repro.directed.eccentricity import (
     naive_directed_eccentricities,
 )
 from repro.directed.graph import DirectedGraph
+from repro.directed.eccentricity import directed_radius_and_diameter
 from repro.weighted.eccentricity import (
     naive_weighted_eccentricities,
     weighted_eccentricities,
+    weighted_radius_and_diameter,
 )
 from repro.weighted.graph import WeightedGraph
 
@@ -90,6 +92,43 @@ def test_directed(benchmark, name):
     )
 
 
+@pytest.mark.parametrize("name", GRAPHS)
+def test_extremes(benchmark, name):
+    """Radius/diameter early-stop through the metric-generic solver core:
+    the same ``oracle_radius_and_diameter`` loop drives the Dijkstra and
+    the forward/backward-BFS oracles."""
+
+    def run():
+        base = graph_for(name)
+        rng = np.random.default_rng(3)
+        triples = [
+            (u, v, int(rng.integers(1, 8))) for u, v in base.edges()
+        ]
+        wg = WeightedGraph.from_edges(
+            triples, num_vertices=base.num_vertices
+        )
+        dg = DirectedGraph.from_undirected(base)
+        start = time.perf_counter()
+        w_ext = weighted_radius_and_diameter(wg)
+        t_w = time.perf_counter() - start
+        start = time.perf_counter()
+        d_ext = directed_radius_and_diameter(dg)
+        t_d = time.perf_counter() - start
+        start = time.perf_counter()
+        w_truth = naive_weighted_eccentricities(wg)
+        t_naive = time.perf_counter() - start
+        assert w_ext.radius == pytest.approx(w_truth.min())
+        assert w_ext.diameter == pytest.approx(w_truth.max())
+        _rows[("dir-extrem", name)] = (
+            t_d, t_naive, d_ext.num_bfs, dg.num_vertices
+        )
+        return t_w, t_naive, w_ext.num_bfs, wg.num_vertices
+
+    _rows[("wtd-extrem", name)] = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+
 def test_zz_report_and_shape(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     lines = [
@@ -107,6 +146,10 @@ def test_zz_report_and_shape(benchmark):
         if setting in ("weighted", "directed-ifecc"):
             # full IFECC machinery: strict, large wins
             assert t_fast < t_naive / 5, (setting, name)
+            assert bfs < n / 10, (setting, name)
+        elif setting in ("wtd-extrem", "dir-extrem"):
+            # extremes early-stop: certifying two numbers must cost far
+            # fewer traversals than the naive full sweep
             assert bfs < n / 10, (setting, name)
         else:
             # directed bound propagation: fewer sources than the naive

@@ -16,10 +16,16 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.ifecc import IFECC
+from repro.core.solver import EccentricitySolver
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 
-__all__ = ["ConvergencePoint", "ConvergenceCurve", "track_convergence"]
+__all__ = [
+    "ConvergencePoint",
+    "ConvergenceCurve",
+    "track_convergence",
+    "track_solver_convergence",
+]
 
 
 @dataclass(frozen=True)
@@ -29,8 +35,8 @@ class ConvergencePoint:
     bfs_runs: int
     resolved_fraction: float
     accuracy_percent: Optional[float]  # None when no truth supplied
-    total_gap: int                     # sum of (upper - lower) bounds
-    max_gap: int
+    total_gap: float                   # sum of (upper - lower) bounds
+    max_gap: float                     # (python int for hop metrics)
 
 
 @dataclass
@@ -93,6 +99,58 @@ class ConvergenceCurve:
         ]
 
 
+def track_solver_convergence(
+    solver: EccentricitySolver,
+    truth: Optional[np.ndarray] = None,
+    max_bfs: Optional[int] = None,
+) -> ConvergenceCurve:
+    """Record the anytime trajectory of any metric's solver.
+
+    Works for every :class:`repro.core.oracles.DistanceOracle`
+    instantiation — unweighted IFECC, the weighted Dijkstra solver and
+    the directed one alike — because the trajectory only reads the
+    solver's bounds and snapshots.
+
+    Parameters
+    ----------
+    solver:
+        A fresh (not yet run) :class:`EccentricitySolver`.
+    truth:
+        Optional exact eccentricities; when given, each point carries
+        the Accuracy of the current lower-bound estimate.
+    max_bfs:
+        Optional traversal budget (None = run to the exact ED).
+    """
+    curve = ConvergenceCurve()
+    n = solver.oracle.num_vertices
+    # Cap per-vertex gaps at the oracle's finite eccentricity bound: the
+    # cap is valid for vertices whose upper bound is still the +inf
+    # sentinel, and the capped sum is monotone non-increasing.  Keep the
+    # cap in the metric's own numeric domain so hop metrics stay exact
+    # integers.
+    cap = solver.oracle.gap_cap()
+    if not np.issubdtype(solver.bounds.dtype, np.floating):
+        cap = int(cap)
+    for snapshot in solver.steps():
+        gaps = np.minimum(solver.bounds.gap(), cap)
+        accuracy = None
+        if truth is not None:
+            correct = int(np.count_nonzero(solver.bounds.lower == truth))
+            accuracy = 100.0 * correct / n if n else 100.0
+        curve.points.append(
+            ConvergencePoint(
+                bfs_runs=snapshot.bfs_runs,
+                resolved_fraction=snapshot.fraction_resolved,
+                accuracy_percent=accuracy,
+                total_gap=gaps.sum().item() if len(gaps) else 0,
+                max_gap=gaps.max().item() if len(gaps) else 0,
+            )
+        )
+        if max_bfs is not None and snapshot.bfs_runs >= max_bfs:
+            break
+    return curve
+
+
 def track_convergence(
     graph: Graph,
     truth: Optional[np.ndarray] = None,
@@ -102,6 +160,9 @@ def track_convergence(
     seed: int = 0,
 ) -> ConvergenceCurve:
     """Run IFECC and record the anytime trajectory after every BFS.
+
+    The unweighted wrapper of :func:`track_solver_convergence` (the
+    gap cap is ``n``, since any hop eccentricity is ``< n``).
 
     Parameters
     ----------
@@ -119,26 +180,4 @@ def track_convergence(
         strategy=strategy,
         seed=seed,
     )
-    curve = ConvergenceCurve()
-    n = graph.num_vertices
-    for snapshot in engine.steps():
-        # Cap per-vertex gaps at n: any eccentricity is < n, so n is a
-        # valid gap bound for vertices whose upper bound is still the
-        # +inf sentinel — and the capped sum is monotone non-increasing.
-        gaps = np.minimum(engine.bounds.gap(), n)
-        accuracy = None
-        if truth is not None:
-            correct = int(np.count_nonzero(engine.bounds.lower == truth))
-            accuracy = 100.0 * correct / n if n else 100.0
-        curve.points.append(
-            ConvergencePoint(
-                bfs_runs=snapshot.bfs_runs,
-                resolved_fraction=snapshot.fraction_resolved,
-                accuracy_percent=accuracy,
-                total_gap=int(gaps.sum()),
-                max_gap=int(gaps.max()) if len(gaps) else 0,
-            )
-        )
-        if max_bfs is not None and snapshot.bfs_runs >= max_bfs:
-            break
-    return curve
+    return track_solver_convergence(engine, truth=truth, max_bfs=max_bfs)

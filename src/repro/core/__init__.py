@@ -1,5 +1,37 @@
 """The paper's primary contribution: IFECC, kIFECC, and their machinery.
 
+Module map — how the metric-generic solver core fits together:
+
+``oracles``
+    The :class:`~repro.core.oracles.DistanceOracle` protocol ("give me
+    single-source distances + an eccentricity") and its unweighted
+    implementation :class:`~repro.core.oracles.BFSOracle`.  The weighted
+    and directed oracles live with their metrics
+    (:class:`repro.weighted.dijkstra.DijkstraOracle`,
+    :class:`repro.directed.traversal.DirectedBFSOracle`).
+``solver``
+    :class:`~repro.core.solver.EccentricitySolver` — the single generic
+    Algorithm-2 loop (reference selection → FFO → territories →
+    Lemma 3.1/3.3 tightening → anytime snapshots), parameterised over an
+    oracle.
+``bounds``
+    Dtype-generic :class:`~repro.core.bounds.BoundState`: Lemma 3.1/3.3
+    updates, the tolerance-aware ``bounds_met`` comparison, and the
+    directed reverse-distance hook.
+``ffo``
+    Farthest-first node orders (Section 3.2), metric-generic.
+``ifecc`` / ``kifecc``
+    The paper's algorithms as thin instantiations of the solver over
+    :class:`BFSOracle` (bit-identical to the pre-unification code).
+``extremes``
+    Radius/diameter-only early termination, generic over oracles.
+``reference``
+    Reference-selection strategies (degree / random / center).
+``framework`` / ``probes`` / ``stratify`` / ``result``
+    The Section 3 BFS-framework with pluggable selectors, probe-number
+    analysis, the F1/F2 stratification theory of Section 5, and the
+    shared result dataclasses.
+
 High-level entry points:
 
 * :func:`repro.core.ifecc.compute_eccentricities` — exact ED via IFECC;
@@ -8,7 +40,11 @@ High-level entry points:
 """
 
 from repro.core.bounds import INFINITE_ECC, BoundState
-from repro.core.extremes import ExtremesResult, radius_and_diameter
+from repro.core.extremes import (
+    ExtremesResult,
+    oracle_radius_and_diameter,
+    radius_and_diameter,
+)
 from repro.core.ffo import FarthestFirstOrder, compute_ffo, farthest_first_order
 from repro.core.framework import (
     AlternatingBoundSelector,
@@ -24,8 +60,10 @@ from repro.core.ifecc import (
     eccentricities_per_component,
 )
 from repro.core.kifecc import approximate_eccentricities, kifecc_sweep
+from repro.core.oracles import BFSOracle, DistanceOracle
 from repro.core.probes import ProbeProfile, probe_numbers
 from repro.core.result import EccentricityResult, ProgressSnapshot
+from repro.core.solver import EccentricitySolver, Territory
 from repro.core.stratify import (
     Stratification,
     approximate_via_f2,
@@ -38,6 +76,7 @@ __all__ = [
     "BoundState",
     "ExtremesResult",
     "radius_and_diameter",
+    "oracle_radius_and_diameter",
     "FarthestFirstOrder",
     "compute_ffo",
     "farthest_first_order",
@@ -52,6 +91,10 @@ __all__ = [
     "eccentricities_per_component",
     "approximate_eccentricities",
     "kifecc_sweep",
+    "DistanceOracle",
+    "BFSOracle",
+    "EccentricitySolver",
+    "Territory",
     "ProbeProfile",
     "probe_numbers",
     "EccentricityResult",

@@ -1,9 +1,9 @@
-"""Eccentricity bound maintenance (Lemmas 3.1 and 3.3).
+"""Eccentricity bound maintenance (Lemmas 3.1 and 3.3), metric-generic.
 
 Every algorithm under the BFS-framework keeps, for each vertex ``v``, a
 lower bound ``ecc_lower[v]`` and an upper bound ``ecc_upper[v]`` on
 ``ecc(v)``, initialised to ``0`` and ``+inf`` (Section 3.1 step 1).  After a
-BFS from a source ``t`` with known ``ecc(t)`` and distance vector
+traversal from a source ``t`` with known ``ecc(t)`` and distance vector
 ``dist(t, .)``, the triangle inequalities of Lemma 3.1 tighten the bounds
 of every other vertex:
 
@@ -11,7 +11,7 @@ of every other vertex:
 
     ecc(v) \\le dist(v, t) + ecc(t)
 
-    ecc(v) \\ge \\max\\{dist(v, t),\\; ecc(t) - dist(v, t)\\}
+    ecc(v) \\ge \\max\\{dist(v, t),\\; ecc(t) - dist(t, v)\\}
 
 When distance probing follows a farthest-first node order ``L^z`` of a
 reference node ``z``, Lemma 3.3 additionally caps ``ecc(v)`` by what the
@@ -20,7 +20,7 @@ reference node ``z``, Lemma 3.3 additionally caps ``ecc(v)`` by what the
 .. math::
 
     ecc(v) \\le \\max\\{\\underline{ecc}(v),\\;
-                       dist(v_{next}, z) + dist(z, v)\\}
+                       dist(v_{next}, z) + dist(v, z)\\}
 
 where ``v_next`` is the first unprobed node.  (The paper states the lemma
 with the last probed node ``v_i``; using the next unprobed node is the
@@ -28,30 +28,48 @@ slightly tighter variant the paper's own Example 3.4 traces, and is valid
 by the same proof since every unprobed node ``u`` has
 ``dist(u, z) <= dist(v_next, z)``.)
 
-:class:`BoundState` stores both bound arrays as ``int32`` vectors and
-applies all updates with whole-array numpy operations.
+Both lemmas are pure triangle inequalities, so they hold for *any*
+shortest-path metric — unweighted hops, non-negative edge weights, and
+directed reachability alike (Dragan et al.'s certificate view).  A
+:class:`BoundState` is therefore parameterised by
+
+* ``dtype`` — ``int32`` hop counts (the paper's setting) or ``float64``
+  weighted distances;
+* ``tolerance`` — the slack used by every bound comparison.  Integer
+  metrics use the exact ``0`` default; float metrics pass an absolute
+  tolerance (distances are sums of ``float64`` weights) and every
+  "have the bounds met?" question goes through the single
+  :meth:`BoundState.bounds_met` helper;
+* for *directed* (asymmetric) metrics, ``dist(v, t) != dist(t, v)`` in
+  general, so the Lemma 3.1 update methods accept the reverse-distance
+  vector separately (``dist_from``); symmetric callers omit it.
+
+Bound arrays are updated with whole-array numpy operations only, and the
+core invariant ``lower <= upper (+ tolerance)`` is re-checked on every
+update.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.sentinels import INFINITE_ECC, infinity_for, unreached_mask
 
 __all__ = ["INFINITE_ECC", "BoundState", "lemma31_lower", "lemma31_upper"]
 
-#: Stand-in for the +infinity initial upper bound (int32-safe).
-INFINITE_ECC = np.int32(2**30)
+#: Numeric scalar accepted wherever an eccentricity value is expected.
+Numeric = Union[int, float]
 
 
-def lemma31_lower(dist_to_t: np.ndarray, ecc_t: int) -> np.ndarray:
+def lemma31_lower(dist_to_t: np.ndarray, ecc_t: Numeric) -> np.ndarray:
     """Element-wise Lemma 3.1 lower bound: max(dist, ecc(t) - dist)."""
     return np.maximum(dist_to_t, ecc_t - dist_to_t)
 
 
-def lemma31_upper(dist_to_t: np.ndarray, ecc_t: int) -> np.ndarray:
+def lemma31_upper(dist_to_t: np.ndarray, ecc_t: Numeric) -> np.ndarray:
     """Element-wise Lemma 3.1 upper bound: dist + ecc(t)."""
     return dist_to_t + ecc_t
 
@@ -63,22 +81,45 @@ class BoundState:
     ----------
     num_vertices:
         Size of the bound vectors.
+    dtype:
+        Bound-array dtype — ``int32`` (default, unweighted/directed hop
+        metrics) or ``float64`` (weighted distances).
+    tolerance:
+        Absolute comparison slack used by :meth:`bounds_met` and every
+        consistency check.  ``0`` (default) gives exact integer
+        comparison; float metrics pass e.g. ``1e-9``.
+    infinity:
+        The "+infinity" initial upper bound.  Defaults to the dtype's
+        canonical sentinel (``2**30`` for integers, ``inf`` for floats).
 
     Notes
     -----
-    The class enforces the core invariant ``lower <= upper`` on every
-    update; a violation means the caller fed inconsistent distances and is
-    reported as :class:`InvalidParameterError` rather than silently
-    producing a wrong eccentricity.
+    The class enforces the core invariant ``lower <= upper + tolerance``
+    on every update; a violation means the caller fed inconsistent
+    distances and is reported as :class:`InvalidParameterError` rather
+    than silently producing a wrong eccentricity.
     """
 
-    __slots__ = ("lower", "upper")
+    __slots__ = ("lower", "upper", "tolerance", "infinity", "_dtype")
 
-    def __init__(self, num_vertices: int) -> None:
+    def __init__(
+        self,
+        num_vertices: int,
+        dtype: "np.typing.DTypeLike" = np.int32,
+        tolerance: float = 0.0,
+        infinity: Optional[Numeric] = None,
+    ) -> None:
         if num_vertices < 0:
             raise InvalidParameterError("num_vertices must be non-negative")
-        self.lower = np.zeros(num_vertices, dtype=np.int32)
-        self.upper = np.full(num_vertices, INFINITE_ECC, dtype=np.int32)
+        if tolerance < 0:
+            raise InvalidParameterError("tolerance must be non-negative")
+        self._dtype = np.dtype(dtype)
+        self.tolerance = float(tolerance)
+        self.infinity = (
+            infinity if infinity is not None else infinity_for(self._dtype)
+        )
+        self.lower = np.zeros(num_vertices, dtype=self._dtype)
+        self.upper = np.full(num_vertices, self.infinity, dtype=self._dtype)
 
     # ------------------------------------------------------------------
     # Queries
@@ -87,9 +128,33 @@ class BoundState:
     def num_vertices(self) -> int:
         return len(self.lower)
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def bounds_met(
+        self,
+        lower: Union[np.ndarray, Numeric],
+        upper: Union[np.ndarray, Numeric],
+    ) -> Union[np.ndarray, np.bool_]:
+        """The one "have these bounds met?" comparison, tolerance-aware.
+
+        Every resolution test in the solver core — scalar or
+        whole-array — routes through this helper so integer metrics get
+        exact comparison (``tolerance == 0`` with ``lower <= upper``
+        invariant reduces it to equality) and float metrics get the
+        documented absolute-tolerance comparison, in one place.
+        """
+        return upper - lower <= self.tolerance  # type: ignore[operator]
+
     def resolved_mask(self) -> np.ndarray:
         """Boolean mask of vertices whose bounds have met."""
-        return self.lower == self.upper
+        return np.asarray(self.bounds_met(self.lower, self.upper))
+
+    def unresolved_subset(self, subset: np.ndarray) -> np.ndarray:
+        """The members of ``subset`` whose bounds have not met yet."""
+        met = np.asarray(self.bounds_met(self.lower[subset], self.upper[subset]))
+        return subset[~met]
 
     def num_resolved(self) -> int:
         """Number of vertices with matching bounds."""
@@ -99,7 +164,14 @@ class BoundState:
         return self.num_resolved() == self.num_vertices
 
     def gap(self) -> np.ndarray:
-        """Per-vertex ``upper - lower`` gap (``int64`` to avoid overflow)."""
+        """Per-vertex ``upper - lower`` gap, widened to avoid overflow.
+
+        :dtype gap: int64
+        """
+        if np.issubdtype(self._dtype, np.floating):
+            return self.upper.astype(np.float64) - self.lower.astype(
+                np.float64
+            )
         return self.upper.astype(np.int64) - self.lower.astype(np.int64)
 
     def eccentricities(self) -> np.ndarray:
@@ -113,25 +185,45 @@ class BoundState:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def set_exact(self, vertex: int, value: int) -> None:
-        """Pin one vertex's eccentricity (e.g. after its own BFS)."""
+    def set_exact(self, vertex: int, value: Numeric) -> None:
+        """Pin one vertex's eccentricity (e.g. after its own traversal)."""
         self._check_consistent(
-            self.lower[vertex] <= value <= self.upper[vertex],
+            bool(
+                self.lower[vertex] - self.tolerance
+                <= value
+                <= self.upper[vertex] + self.tolerance
+            ),
             f"exact ecc {value} outside current bounds of vertex {vertex}",
         )
         self.lower[vertex] = value
         self.upper[vertex] = value
 
-    def apply_lemma31(self, dist_to_t: np.ndarray, ecc_t: int) -> None:
-        """Tighten all bounds after a BFS from ``t`` (Lemma 3.1).
+    def apply_lemma31(
+        self,
+        dist_to_t: np.ndarray,
+        ecc_t: Numeric,
+        dist_from_t: Optional[np.ndarray] = None,
+    ) -> None:
+        """Tighten all bounds after a traversal of ``t`` (Lemma 3.1).
 
-        ``dist_to_t`` is the distance vector of the finished BFS;
-        unreachable entries (``-1``) are left untouched.
+        ``dist_to_t`` holds ``dist(v, t)`` — the distances *into* the
+        source, which drive both the lower bound ``ecc(v) >= dist(v, t)``
+        and the upper bound ``ecc(v) <= dist(v, t) + ecc(t)``.  For
+        symmetric metrics it equals ``dist(t, v)`` and the second lower
+        bound ``ecc(v) >= ecc(t) - dist(t, v)`` uses the same vector;
+        directed callers pass the forward-distance vector ``dist(t, .)``
+        as ``dist_from_t``.  Unreachable entries are left untouched.
         """
-        reachable = dist_to_t >= 0
-        dist = dist_to_t.astype(np.int32)
+        reachable = ~unreached_mask(dist_to_t)
+        dist = dist_to_t.astype(self._dtype)
+        if dist_from_t is None:
+            lower_candidate = lemma31_lower(dist, ecc_t)
+        else:
+            lower_candidate = np.maximum(
+                dist, ecc_t - dist_from_t.astype(self._dtype)
+            )
         new_lower = np.maximum(
-            self.lower, np.where(reachable, lemma31_lower(dist, ecc_t), 0)
+            self.lower, np.where(reachable, lower_candidate, 0)
         )
         new_upper = np.where(
             reachable,
@@ -139,7 +231,7 @@ class BoundState:
             self.upper,
         )
         self._check_consistent(
-            bool(np.all(new_lower <= new_upper)),
+            bool(np.all(new_lower <= new_upper + self.tolerance)),
             "Lemma 3.1 update produced lower > upper: inconsistent distances",
         )
         self.lower = new_lower
@@ -149,14 +241,17 @@ class BoundState:
         """Raise lower bounds to ``dist(v, t)`` when ``ecc(t)`` is unknown.
 
         Section 3.1 notes this weaker update ("if one only knows
-        dist(v, t)"); kBFS-style estimators rely on it.
+        dist(v, t)"); kBFS-style estimators rely on it, and it is the
+        *whole* per-probe lower update of the directed sweep (a backward
+        BFS yields ``dist(v, t)`` but not ``ecc(t)``).
         """
-        reachable = dist_to_t >= 0
+        reachable = ~unreached_mask(dist_to_t)
         new_lower = np.maximum(
-            self.lower, np.where(reachable, dist_to_t.astype(np.int32), 0)
+            self.lower,
+            np.where(reachable, dist_to_t.astype(self._dtype), 0),
         )
         self._check_consistent(
-            bool(np.all(new_lower <= self.upper)),
+            bool(np.all(new_lower <= self.upper + self.tolerance)),
             "lower-only update produced lower > upper",
         )
         self.lower = new_lower
@@ -165,21 +260,35 @@ class BoundState:
         self,
         subset: np.ndarray,
         dist_subset: np.ndarray,
-        ecc_t: int,
+        ecc_t: Numeric,
+        dist_from_subset: Optional[np.ndarray] = None,
     ) -> None:
         """Lemma 3.1 tightening restricted to ``subset``.
 
         ``dist_subset`` holds ``dist(v, t)`` aligned with ``subset`` (the
         gathered distances, not the full vector).  This is the territory
-        seeding step of Algorithm 2 lines 8-9.
+        seeding step of Algorithm 2 lines 8-9.  Directed callers pass
+        the gathered forward distances ``dist(t, v)`` as
+        ``dist_from_subset`` for the ``ecc(t) - dist(t, v)`` term;
+        symmetric metrics omit it.
 
         :dtype dist: int32
         """
-        dist = dist_subset.astype(np.int32)
-        new_lower = np.maximum(self.lower[subset], lemma31_lower(dist, ecc_t))
+        dist = dist_subset.astype(self._dtype)
+        if dist_from_subset is None:
+            new_lower = np.maximum(
+                self.lower[subset], lemma31_lower(dist, ecc_t)
+            )
+        else:
+            new_lower = np.maximum(
+                self.lower[subset],
+                np.maximum(
+                    dist, ecc_t - dist_from_subset.astype(self._dtype)
+                ),
+            )
         new_upper = np.minimum(self.upper[subset], lemma31_upper(dist, ecc_t))
         self._check_consistent(
-            bool(np.all(new_lower <= new_upper)),
+            bool(np.all(new_lower <= new_upper + self.tolerance)),
             "Lemma 3.1 subset update produced lower > upper: "
             "inconsistent distances",
         )
@@ -200,10 +309,10 @@ class BoundState:
         :dtype new_lower: int32
         """
         new_lower = np.maximum(
-            self.lower[subset], dist_subset.astype(np.int32)
+            self.lower[subset], dist_subset.astype(self._dtype)
         )
         self._check_consistent(
-            bool(np.all(new_lower <= self.upper[subset])),
+            bool(np.all(new_lower <= self.upper[subset] + self.tolerance)),
             "lower-only subset update produced lower > upper",
         )
         self.lower[subset] = new_lower
@@ -211,7 +320,7 @@ class BoundState:
     def apply_lemma33_tail(
         self,
         dist_to_z: np.ndarray,
-        tail_radius: int,
+        tail_radius: Numeric,
         subset: Optional[np.ndarray] = None,
     ) -> None:
         """Cap upper bounds by the FFO tail (Lemma 3.3).
@@ -219,7 +328,9 @@ class BoundState:
         Parameters
         ----------
         dist_to_z:
-            Distance vector from the reference node ``z``.
+            Distances *into* the reference node ``z`` (``dist(v, z)``;
+            for symmetric metrics this is the reference's own distance
+            vector).
         tail_radius:
             ``dist(v_next, z)`` for the first unprobed node of ``L^z``
             (0 when the order is exhausted).
@@ -229,22 +340,22 @@ class BoundState:
         """
         if subset is None:
             cap = np.maximum(
-                self.lower, dist_to_z.astype(np.int32) + tail_radius
+                self.lower, dist_to_z.astype(self._dtype) + tail_radius
             )
             new_upper = np.minimum(self.upper, cap)
             self._check_consistent(
-                bool(np.all(self.lower <= new_upper)),
+                bool(np.all(self.lower <= new_upper + self.tolerance)),
                 "Lemma 3.3 update produced lower > upper",
             )
             self.upper = new_upper
         else:
             cap = np.maximum(
                 self.lower[subset],
-                dist_to_z[subset].astype(np.int32) + tail_radius,
+                dist_to_z[subset].astype(self._dtype) + tail_radius,
             )
             new_upper = np.minimum(self.upper[subset], cap)
             self._check_consistent(
-                bool(np.all(self.lower[subset] <= new_upper)),
+                bool(np.all(self.lower[subset] <= new_upper + self.tolerance)),
                 "Lemma 3.3 update produced lower > upper",
             )
             self.upper[subset] = new_upper

@@ -11,55 +11,62 @@ the bound-based loop can stop long before every vertex's bounds meet:
 * the **radius** is certified once some vertex's *exact* eccentricity
   is ``<= min(lower)`` over all vertices — no vertex can beat it.
 
-:func:`radius_and_diameter` runs IFECC's machinery (one reference BFS,
-Lemma 3.1 updates, FFO-guided source order interleaved with a
-center-guided order for the radius side) under these relaxed stopping
-rules.  On small-world graphs this typically needs a small constant
-number of BFS traversals — the mode SNAP's diameter feature would call
-after the Section 7.5 case study.
+Both rules are statements about Lemma 3.1 bounds, not about BFS, so the
+driver is written against the :class:`repro.core.oracles.DistanceOracle`
+protocol: :func:`oracle_radius_and_diameter` certifies the extremes of
+any metric back-end (weighted distances via
+:func:`repro.weighted.eccentricity.weighted_radius_and_diameter`,
+directed reachability via
+:func:`repro.directed.eccentricity.directed_radius_and_diameter`), while
+:func:`radius_and_diameter` keeps the historical unweighted signature —
+bit-identical to the pre-unification implementation.
+
+On small-world graphs this typically needs a small constant number of
+traversals — the mode SNAP's diameter feature would call after the
+Section 7.5 case study.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bounds import BoundState
-from repro.core.ffo import compute_ffo
-from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.core.ffo import farthest_first_order
+from repro.core.oracles import BFSOracle, DistanceOracle
+from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import (
-    UNREACHED,
-    BFSCounter,
-    eccentricity_and_distances,
-)
+from repro.graph.traversal import BFSCounter
+from repro.sentinels import unreached_mask
 
-__all__ = ["ExtremesResult", "radius_and_diameter"]
+__all__ = ["ExtremesResult", "radius_and_diameter", "oracle_radius_and_diameter"]
 
 
 @dataclass(frozen=True)
 class ExtremesResult:
-    """Certified radius and diameter of a connected graph.
+    """Certified radius and diameter of a (strongly) connected graph.
 
     Attributes
     ----------
     radius / diameter:
-        The exact values.
+        The exact values — python ``int`` for hop metrics, ``float``
+        for weighted ones (certified within the oracle's tolerance).
     center_vertex:
         A vertex attaining the radius.
     peripheral_vertex:
         A vertex attaining the diameter.
     num_bfs:
-        BFS traversals spent (including the reference BFS).
+        Traversals spent (including the reference probe; a directed
+        probe counts its forward + backward pair as two).
     elapsed_seconds:
         Wall time.
     """
 
-    radius: int
-    diameter: int
+    radius: float
+    diameter: float
     center_vertex: int
     peripheral_vertex: int
     num_bfs: int
@@ -67,58 +74,70 @@ class ExtremesResult:
 
 
 def _certify_state(
-    bounds: BoundState, exact_ecc: "dict[int, int]"
-) -> "tuple[bool, bool, int, Optional[int]]":
-    """Current certification status: (dia_done, rad_done, dia, rad)."""
-    dia_lb = int(bounds.lower.max())
-    dia_ub = int(bounds.upper.max())
-    rad_ub = min(exact_ecc.values()) if exact_ecc else None
-    rad_lb = int(bounds.lower.min())
-    dia_done = dia_lb == dia_ub
-    rad_done = rad_ub is not None and rad_ub <= rad_lb
-    return dia_done, rad_done, dia_lb, rad_ub
+    bounds: BoundState, exact_ecc: "Dict[int, float]"
+) -> "Tuple[bool, bool]":
+    """Current certification status: (diameter_done, radius_done)."""
+    dia_lb = bounds.lower.max().item()
+    dia_ub = bounds.upper.max().item()
+    rad_lb = bounds.lower.min().item()
+    dia_done = bool(bounds.bounds_met(dia_lb, dia_ub))
+    rad_done = bool(exact_ecc) and bool(
+        bounds.bounds_met(rad_lb, min(exact_ecc.values()))
+    )
+    return dia_done, rad_done
 
 
-def radius_and_diameter(
-    graph: Graph,
+def oracle_radius_and_diameter(
+    oracle: DistanceOracle,
     counter: Optional[BFSCounter] = None,
 ) -> ExtremesResult:
-    """Certified radius and diameter without the full ED.
+    """Certified radius and diameter without the full ED, any metric.
 
     Alternates two source heuristics until both extremes are certified:
 
     * *periphery probe* — the unresolved vertex of largest upper bound
-      (its BFS can only raise ``max(lower)`` or prove the upper bounds
+      (its probe can only raise ``max(lower)`` or prove the upper bounds
       slack), seeded by the reference's FFO front;
     * *center probe* — the unresolved vertex of smallest lower bound
       (its exact eccentricity is the best radius candidate).
+
+    Every probe is a :meth:`DistanceOracle.source_probe` — the full
+    Lemma 3.1 package, so asymmetric metrics pay a forward + backward
+    pair per probed vertex.
     """
-    n = graph.num_vertices
+    n = oracle.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
     counter = counter if counter is not None else BFSCounter()
     start = time.perf_counter()
 
-    reference = graph.max_degree_vertex()
-    ffo = compute_ffo(graph, reference, counter=counter)
-    if np.any(ffo.distances == UNREACHED):
-        from repro.graph.components import connected_components
-
-        raise DisconnectedGraphError(
-            connected_components(graph).num_components
-        )
-    bounds = BoundState(n)
+    reference = int(oracle.select_references("degree", 1, 0)[0])
+    ecc_z, dist_from, dist_into = oracle.source_probe(
+        reference, counter=counter
+    )
+    if bool(np.any(unreached_mask(dist_from))) or (
+        dist_into is not dist_from
+        and bool(np.any(unreached_mask(dist_into)))
+    ):
+        raise oracle.disconnected_error()
+    ffo = farthest_first_order(dist_from, reference)
+    bounds = BoundState(n, dtype=oracle.dtype, tolerance=oracle.tolerance)
     bounds.set_exact(reference, ffo.eccentricity)
-    bounds.apply_lemma31(ffo.distances, ffo.eccentricity)
-    exact_ecc = {reference: ffo.eccentricity}
+    if dist_into is dist_from:
+        bounds.apply_lemma31(dist_into, ffo.eccentricity)
+    else:
+        bounds.apply_lemma31(
+            dist_into, ffo.eccentricity, dist_from_t=dist_from
+        )
+    exact_ecc: Dict[int, float] = {reference: ffo.eccentricity}
 
     ffo_cursor = 0
     pick_periphery = True
     while True:
-        dia_done, rad_done, _dia, _rad = _certify_state(bounds, exact_ecc)
+        dia_done, rad_done = _certify_state(bounds, exact_ecc)
         if dia_done and rad_done:
             break
-        unresolved = np.flatnonzero(bounds.lower != bounds.upper)
+        unresolved = np.flatnonzero(~bounds.resolved_mask())
         if len(unresolved) == 0:
             break
         if pick_periphery and not dia_done:
@@ -128,7 +147,11 @@ def radius_and_diameter(
             while ffo_cursor < len(ffo.order):
                 candidate = int(ffo.order[ffo_cursor])
                 ffo_cursor += 1
-                if bounds.lower[candidate] != bounds.upper[candidate]:
+                if not bool(
+                    bounds.bounds_met(
+                        bounds.lower[candidate], bounds.upper[candidate]
+                    )
+                ):
                     source = candidate
                     break
             if source is None:
@@ -139,15 +162,18 @@ def radius_and_diameter(
             source = int(unresolved[np.argmin(bounds.lower[unresolved])])
         pick_periphery = not pick_periphery
 
-        ecc_s, dist_s = eccentricity_and_distances(
-            graph, source, counter=counter
+        ecc_s, dist_from_s, dist_into_s = oracle.source_probe(
+            source, counter=counter
         )
         bounds.set_exact(source, ecc_s)
-        bounds.apply_lemma31(dist_s, ecc_s)
+        if dist_into_s is dist_from_s:
+            bounds.apply_lemma31(dist_into_s, ecc_s)
+        else:
+            bounds.apply_lemma31(dist_into_s, ecc_s, dist_from_t=dist_from_s)
         exact_ecc[source] = ecc_s
 
-    dia = int(bounds.lower.max())
-    rad_vertex = min(exact_ecc, key=exact_ecc.get)
+    dia = bounds.lower.max().item()
+    rad_vertex = min(exact_ecc, key=exact_ecc.get)  # type: ignore[arg-type]
     dia_vertex = int(np.argmax(bounds.lower))
     elapsed = time.perf_counter() - start
     return ExtremesResult(
@@ -158,3 +184,16 @@ def radius_and_diameter(
         num_bfs=counter.bfs_runs,
         elapsed_seconds=elapsed,
     )
+
+
+def radius_and_diameter(
+    graph: Graph,
+    counter: Optional[BFSCounter] = None,
+) -> ExtremesResult:
+    """Certified radius and diameter of an unweighted connected graph.
+
+    The historical entry point, now a :class:`BFSOracle` instantiation of
+    :func:`oracle_radius_and_diameter` (bit-identical results and BFS
+    counts).
+    """
+    return oracle_radius_and_diameter(BFSOracle(graph), counter=counter)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.graph.csr import Graph
 from repro.graph.engine import BFSEngine, engine_for
 from repro.graph.traversal import BFSCounter
+from repro.sentinels import unreached_mask
 
 __all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
 
@@ -27,6 +28,11 @@ __all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
 @dataclass(frozen=True)
 class FarthestFirstOrder:
     """The FFO of one reference node.
+
+    The order is metric-generic: ``distances`` may be ``int32`` hop
+    counts or ``float64`` weighted distances; eccentricity values keep
+    the metric's numeric type (python ``int`` for hop metrics, ``float``
+    for weighted ones).
 
     Attributes
     ----------
@@ -36,7 +42,8 @@ class FarthestFirstOrder:
         ``int32`` vertex ids sorted by non-increasing distance from ``z``
         (unreachable vertices are excluded; ``z`` itself is last).
     distances:
-        Full distance vector from ``z`` (``-1`` = unreachable).
+        Full distance vector from ``z`` (the metric's unreached sentinel
+        marks other components).
     eccentricity:
         ``ecc(z)``, i.e. ``distances[order[0]]``.
     """
@@ -44,12 +51,12 @@ class FarthestFirstOrder:
     source: int
     order: np.ndarray
     distances: np.ndarray
-    eccentricity: int
+    eccentricity: float
 
     def __len__(self) -> int:
         return len(self.order)
 
-    def distance_of_rank(self, rank: int) -> int:
+    def distance_of_rank(self, rank: int) -> float:
         """``dist(v_rank, z)`` for 0-based ``rank``; 0 past the end.
 
         The "past the end" convention feeds Lemma 3.3: once every node has
@@ -57,7 +64,7 @@ class FarthestFirstOrder:
         """
         if rank >= len(self.order):
             return 0
-        return int(self.distances[self.order[rank]])
+        return self.distances[self.order[rank]].item()
 
     def prefix(self, count: int) -> np.ndarray:
         """The first ``count`` nodes of the order (the FFO "front")."""
@@ -70,14 +77,20 @@ def farthest_first_order(
     """Build a :class:`FarthestFirstOrder` from a precomputed distance
     vector (ties broken by ascending id).
 
+    Works for any metric: reachability is decided by the dtype's
+    sentinel (``-1`` for hop counts, ``inf`` for weighted distances) and
+    the sort key stays in the metric's own numeric domain.
+
     :dtype order: int32
     """
-    reachable = np.flatnonzero(distances >= 0)
+    reachable = np.flatnonzero(~unreached_mask(distances))
+    key = distances[reachable]
+    if not np.issubdtype(key.dtype, np.floating):
+        # Negating int32 hop counts in int64 avoids overflow at the edge.
+        key = key.astype(np.int64)
     # Stable sort on ascending id, keyed by descending distance.
-    order = reachable[
-        np.argsort(-distances[reachable].astype(np.int64), kind="stable")
-    ].astype(np.int32)
-    ecc = int(distances[order[0]]) if len(order) else 0
+    order = reachable[np.argsort(-key, kind="stable")].astype(np.int32)
+    ecc = distances[order[0]].item() if len(order) else 0
     return FarthestFirstOrder(
         source=source,
         order=order,

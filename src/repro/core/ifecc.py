@@ -13,6 +13,14 @@ nodes into the BFS-framework:
    Lemma 3.3 caps upper bounds for the territory, until every territory
    member's bounds meet (lines 10–18).
 
+The loop itself lives in the metric-generic
+:class:`repro.core.solver.EccentricitySolver`; :class:`IFECC` is its
+unweighted instantiation over :class:`repro.core.oracles.BFSOracle` —
+``int32`` hop counts, exact (zero-tolerance) bound comparison, one
+pooled-workspace BFS per probe.  The class is bit-identical to the
+pre-unification implementation: same BFS sequence, counters, snapshots
+and results.
+
 The engine is *anytime*: :meth:`IFECC.steps` yields a snapshot after each
 BFS, which is exactly how Algorithm 3 (kIFECC, :mod:`repro.core.kifecc`)
 and the budget-matched SNAP comparison (Figure 14) consume it.
@@ -24,41 +32,29 @@ Space is ``O(m + n)`` (Theorem 4.5): the graph, the bound arrays, and the
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.core.bounds import BoundState
-from repro.core.ffo import FarthestFirstOrder, compute_ffo
-from repro.core.reference import get_strategy
-from repro.core.result import EccentricityResult, ProgressSnapshot
-from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.core.oracles import BFSOracle
+from repro.core.result import EccentricityResult
+from repro.core.solver import EccentricitySolver
+from repro.errors import InvalidParameterError
 from repro.graph.components import split_components
 from repro.graph.csr import Graph
-from repro.graph.engine import engine_for
-from repro.graph.traversal import UNREACHED, BFSCounter
+from repro.graph.traversal import BFSCounter
 
 __all__ = ["IFECC", "compute_eccentricities", "eccentricities_per_component"]
 
 
-@dataclass
-class _Territory:
-    """A reference node's working state during the main loop."""
-
-    reference: int
-    ffo: FarthestFirstOrder
-    members: np.ndarray  # vertex ids owned by this reference
-
-
-class IFECC:
-    """The IFECC engine.
+class IFECC(EccentricitySolver):
+    """The IFECC engine — :class:`EccentricitySolver` over hop counts.
 
     Parameters
     ----------
     graph:
         Connected, undirected input graph.  (Disconnected graphs raise
-        :class:`DisconnectedGraphError`; use
+        :class:`repro.errors.DisconnectedGraphError`; use
         :func:`eccentricities_per_component` instead.)
     num_references:
         ``r``, the reference-node count.  The paper's headline
@@ -96,180 +92,18 @@ class IFECC:
         if graph.num_vertices == 0:
             raise InvalidParameterError("graph must have at least one vertex")
         self.graph = graph
-        self.num_references = min(num_references, graph.num_vertices)
-        self.strategy = strategy
-        self.seed = seed
-        self.memoize_distances = memoize_distances
-        self.counter = counter if counter is not None else BFSCounter()
-        self.bounds = BoundState(graph.num_vertices)
-        self.references = get_strategy(strategy)(
-            graph, self.num_references, seed
+        oracle = BFSOracle(graph)
+        super().__init__(
+            oracle,
+            num_references=num_references,
+            strategy=strategy,
+            seed=seed,
+            memoize_distances=memoize_distances,
+            counter=counter,
         )
-        self._territories: List[_Territory] = []
-        # Shared pooled-workspace BFS engine: the FFO-ordered sweep runs
-        # one BFS per probed source, all on this graph, so per-run
-        # allocation would dominate at scale.
-        self._engine = engine_for(graph)
-        # source id -> (ecc, distance vector) for sources whose BFS result
-        # is retained: always the references, plus every BFS source when
-        # memoize_distances is on.
-        self._known: dict[int, tuple[int, np.ndarray]] = {}
-
-    # ------------------------------------------------------------------
-    # Phase 1: reference BFS + territory assignment (Algorithm 2, 1-9)
-    # ------------------------------------------------------------------
-    def _initialise(self) -> Iterator[ProgressSnapshot]:
-        graph = self.graph
-        n = graph.num_vertices
-        ffos: List[FarthestFirstOrder] = []
-        for z in self.references:
-            ffo = compute_ffo(
-                graph, int(z), counter=self.counter, engine=self._engine
-            )
-            if np.any(ffo.distances == UNREACHED):
-                raise DisconnectedGraphError(
-                    num_components=len(split_components(graph))
-                )
-            ffos.append(ffo)
-            self.bounds.set_exact(int(z), ffo.eccentricity)
-            self._known[int(z)] = (ffo.eccentricity, ffo.distances)
-            yield self._snapshot(int(z))
-
-        # Closest reference per vertex; ties go to the earlier entry of Z
-        # (the higher-degree reference), matching Example 4.6.
-        dist_matrix = np.stack([f.distances for f in ffos])  # (r, n)
-        owner_idx = np.argmin(dist_matrix, axis=0)
-
-        for idx, ffo in enumerate(ffos):
-            z = int(self.references[idx])
-            members = np.flatnonzero(owner_idx == idx)
-            members = members[~np.isin(members, self.references)]
-            # Lemma 3.1 seed from the territory's own reference (lines 8-9).
-            self.bounds.apply_lemma31_subset(
-                members, ffo.distances[members], ffo.eccentricity
-            )
-            self._territories.append(
-                _Territory(
-                    reference=z, ffo=ffo, members=members.astype(np.int64)
-                )
-            )
-
-    # ------------------------------------------------------------------
-    # Phase 2: FFO-ordered BFS sweep (Algorithm 2, 10-18)
-    # ------------------------------------------------------------------
-    def steps(self) -> Iterator[ProgressSnapshot]:
-        """Run the algorithm, yielding a snapshot after every BFS.
-
-        Exhausting the iterator completes the exact computation; stopping
-        early leaves valid (possibly unresolved) bounds in
-        :attr:`bounds` — that is the anytime mode kIFECC builds on.
-        """
-        yield from self._initialise()
-        for territory in self._territories:
-            yield from self._sweep_territory(territory)
-
-    def _sweep_territory(
-        self, territory: _Territory
-    ) -> Iterator[ProgressSnapshot]:
-        bounds = self.bounds
-        members = territory.members
-        ffo = territory.ffo
-        dist_to_z = ffo.distances
-        unresolved = members[bounds.lower[members] != bounds.upper[members]]
-        if len(unresolved) == 0:
-            return
-        for rank, source in enumerate(ffo.order):
-            source = int(source)
-            if source == territory.reference:
-                continue
-            tail_radius = ffo.distance_of_rank(rank + 1)
-            if source in self._known:
-                # Replay the retained distance vector instead of
-                # re-running the BFS.  Lemma 3.3 stays sound because the
-                # replayed Lemma 3.1 update makes `source` a probed node
-                # of this territory, exactly as a fresh BFS would.
-                ecc_s, dist_s = self._known[source]
-                fresh_bfs = False
-            else:
-                # Pooled-buffer BFS: dist_s aliases the engine workspace
-                # and is consumed before the next run; only the memoised
-                # copy outlives this iteration.
-                dist_s = self._engine.run(source, counter=self.counter)
-                ecc_s = self._engine.last_ecc
-                # The BFS determines ecc(source) exactly even if `source`
-                # belongs to another territory.
-                bounds.set_exact(source, ecc_s)
-                if self.memoize_distances:
-                    self._known[source] = (ecc_s, dist_s.copy())
-                fresh_bfs = True
-            # Lemma 3.1 (lower) for the territory...
-            bounds.raise_lower_subset(unresolved, dist_s[unresolved])
-            # ... and Lemma 3.3's shrinking tail cap (upper).
-            bounds.apply_lemma33_tail(
-                dist_to_z, tail_radius, subset=unresolved
-            )
-            if fresh_bfs:
-                yield self._snapshot(source)
-            unresolved = unresolved[
-                bounds.lower[unresolved] != bounds.upper[unresolved]
-            ]
-            if len(unresolved) == 0:
-                break
-
-    def _snapshot(self, source: int) -> ProgressSnapshot:
-        return ProgressSnapshot(
-            bfs_runs=self.counter.bfs_runs,
-            source=source,
-            resolved=self.bounds.num_resolved(),
-            num_vertices=self.graph.num_vertices,
-        )
-
-    # ------------------------------------------------------------------
-    # Drivers
-    # ------------------------------------------------------------------
-    def run(self) -> EccentricityResult:
-        """Run to completion and return the exact ED (Algorithm 2)."""
-        start = time.perf_counter()
-        for _ in self.steps():
-            pass
-        elapsed = time.perf_counter() - start
-        return EccentricityResult(
-            eccentricities=self.bounds.eccentricities(),
-            lower=self.bounds.lower.copy(),
-            upper=self.bounds.upper.copy(),
-            exact=True,
-            algorithm=f"IFECC-{self.num_references}",
-            num_bfs=self.counter.bfs_runs,
-            elapsed_seconds=elapsed,
-            reference_nodes=self.references.copy(),
-            counter=self.counter,
-        )
-
-    def run_budgeted(self, max_bfs: int) -> EccentricityResult:
-        """Stop after ``max_bfs`` total BFS runs; lower bounds become the
-        estimate (the anytime by-product of Section 1, contribution 5)."""
-        if max_bfs < 0:
-            raise InvalidParameterError("max_bfs must be non-negative")
-        start = time.perf_counter()
-        exact = True
-        for snapshot in self.steps():
-            if snapshot.bfs_runs >= max_bfs:
-                exact = self.bounds.all_resolved()
-                break
-        else:
-            exact = True
-        elapsed = time.perf_counter() - start
-        return EccentricityResult(
-            eccentricities=self.bounds.lower.copy(),
-            lower=self.bounds.lower.copy(),
-            upper=self.bounds.upper.copy(),
-            exact=exact,
-            algorithm=f"IFECC-{self.num_references}(budget={max_bfs})",
-            num_bfs=self.counter.bfs_runs,
-            elapsed_seconds=elapsed,
-            reference_nodes=self.references.copy(),
-            counter=self.counter,
-        )
+        # Kept for introspection/back-compat: the shared pooled-workspace
+        # BFS engine behind the oracle.
+        self._engine = oracle.engine
 
 
 def compute_eccentricities(

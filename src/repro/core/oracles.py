@@ -1,0 +1,179 @@
+"""Pluggable distance oracles for the metric-generic solver core.
+
+Lemmas 3.1 and 3.3 are pure triangle inequalities — valid for *any*
+shortest-path metric — so the whole of Algorithm 2 is really one
+bound-tightening loop parameterised over "how do I get single-source
+distances and an eccentricity?".  :class:`DistanceOracle` is that
+parameter: the structural protocol every metric back-end implements so
+:class:`repro.core.solver.EccentricitySolver` (and the generic extremes
+driver in :mod:`repro.core.extremes`) can run unchanged over
+
+* unweighted BFS hops — :class:`BFSOracle` (this module), wrapping the
+  pooled direction-optimizing :class:`repro.graph.engine.BFSEngine`;
+* non-negative edge weights — ``DijkstraOracle``
+  (:mod:`repro.weighted.dijkstra`);
+* directed reachability — ``DirectedBFSOracle``
+  (:mod:`repro.directed.traversal`), whose probes are *backward* BFS
+  runs (the reverse-distance hook).
+
+The two probe flavours mirror how Algorithm 2 consumes traversals:
+
+``source_probe``
+    The full Lemma 3.1 package for a source ``t``: exact ``ecc(t)``,
+    the forward distances ``dist(t, .)`` (which seed FFOs and
+    territories) and the reverse distances ``dist(., t)`` (which drive
+    both bound directions).  Symmetric metrics return the *same* array
+    for both — one traversal; the directed oracle pays a
+    forward + backward pair.
+
+``sweep_probe``
+    The cheap per-probe traversal of the FFO sweep: the reverse
+    distances ``dist(., t)`` plus ``ecc(t)`` *when the traversal
+    happens to yield it* (symmetric metrics: yes; the directed
+    backward BFS: no — it returns ``None`` and the solver simply skips
+    the ``set_exact`` step, exactly as the directed Lemma 3.3 argument
+    requires).
+
+Distance vectors returned by ``sweep_probe`` may alias a pooled
+workspace; the solver consumes them before the next traversal and
+copies only when memoising — the same discipline the BFS engine
+established.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.counters import TraversalCounter
+from repro.core.reference import get_strategy
+from repro.errors import DisconnectedGraphError
+from repro.graph.csr import Graph
+from repro.graph.engine import BFSEngine, engine_for
+
+__all__ = ["DistanceOracle", "BFSOracle"]
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Metric back-end of the generic eccentricity solver.
+
+    Attributes
+    ----------
+    num_vertices:
+        Vertex count of the underlying graph.
+    dtype:
+        Distance dtype (``int32`` hops or ``float64`` weights); the
+        solver sizes its :class:`repro.core.bounds.BoundState` with it.
+    tolerance:
+        Bound-comparison slack (0 for integer metrics).
+    symmetric:
+        ``True`` when ``dist(u, v) == dist(v, u)`` — lets the solver
+        skip redundant reverse traversals and connectivity checks.
+    metric_name:
+        Tag prefix for :class:`repro.core.result.EccentricityResult`.
+    """
+
+    num_vertices: int
+    dtype: np.dtype
+    tolerance: float
+    symmetric: bool
+    metric_name: str
+
+    def select_references(
+        self, strategy: str, count: int, seed: int
+    ) -> np.ndarray:
+        """The reference set ``Z`` (Algorithm 2, line 1).
+
+        :dtype references: int32
+        """
+        ...  # pragma: no cover - protocol
+
+    def source_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """``(ecc(source), dist(source, .), dist(., source))``.
+
+        Symmetric oracles return the same (caller-owned) array twice;
+        the directed oracle runs a forward + backward traversal pair.
+        """
+        ...  # pragma: no cover - protocol
+
+    def sweep_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[Optional[float], np.ndarray]:
+        """``(ecc(source) or None, dist(., source))`` — one traversal.
+
+        The distance vector may alias a pooled workspace valid until
+        the next traversal on this oracle.
+        """
+        ...  # pragma: no cover - protocol
+
+    def disconnected_error(self) -> DisconnectedGraphError:
+        """The error describing why the metric's solver cannot run."""
+        ...  # pragma: no cover - protocol
+
+    def gap_cap(self) -> float:
+        """A finite bound on any vertex's eccentricity (gap accounting)."""
+        ...  # pragma: no cover - protocol
+
+
+class BFSOracle:
+    """The unweighted hop-count oracle (the paper's own setting).
+
+    Wraps the per-graph cached, pooled-workspace
+    :class:`repro.graph.engine.BFSEngine`: ``sweep_probe`` returns the
+    engine's pooled distance buffer (the FFO-ordered sweep runs one BFS
+    per probed source, all on this graph, so per-run allocation would
+    dominate at scale), while ``source_probe`` copies — its vector is
+    retained by FFOs and territories.
+    """
+
+    dtype = np.dtype(np.int32)
+    tolerance = 0.0
+    symmetric = True
+    metric_name = "IFECC"
+
+    def __init__(
+        self, graph: Graph, engine: Optional[BFSEngine] = None
+    ) -> None:
+        self.graph = graph
+        self.num_vertices = graph.num_vertices
+        self.engine = engine if engine is not None else engine_for(graph)
+
+    def select_references(
+        self, strategy: str, count: int, seed: int
+    ) -> np.ndarray:
+        return get_strategy(strategy)(self.graph, count, seed)
+
+    def source_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        dist = self.engine.run(source, counter=counter).copy()
+        return self.engine.last_ecc, dist, dist
+
+    def sweep_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[Optional[float], np.ndarray]:
+        dist = self.engine.run(source, counter=counter)
+        return self.engine.last_ecc, dist
+
+    def disconnected_error(self) -> DisconnectedGraphError:
+        from repro.graph.components import split_components
+
+        return DisconnectedGraphError(
+            num_components=len(split_components(self.graph))
+        )
+
+    def gap_cap(self) -> float:
+        # Any hop eccentricity is < n.
+        return float(self.num_vertices)

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.graph.traversal import BFSCounter
+from repro.counters import BFSCounter
 
 __all__ = ["EccentricityResult", "ProgressSnapshot"]
 
@@ -90,14 +90,21 @@ class EccentricityResult:
         return len(self.eccentricities)
 
     @property
-    def radius(self) -> int:
-        """Minimum eccentricity (only meaningful for exact results)."""
-        return int(self.eccentricities.min()) if self.num_vertices else 0
+    def radius(self) -> float:
+        """Minimum eccentricity (only meaningful for exact results).
+
+        A python ``int`` for hop metrics, ``float`` for weighted ones
+        (the value keeps the metric's numeric type via ``.item()``).
+        """
+        return self.eccentricities.min().item() if self.num_vertices else 0
 
     @property
-    def diameter(self) -> int:
-        """Maximum eccentricity (only meaningful for exact results)."""
-        return int(self.eccentricities.max()) if self.num_vertices else 0
+    def diameter(self) -> float:
+        """Maximum eccentricity (only meaningful for exact results).
+
+        Numeric type follows the metric, as for :attr:`radius`.
+        """
+        return self.eccentricities.max().item() if self.num_vertices else 0
 
     def accuracy_against(self, truth: np.ndarray) -> float:
         """Paper's Accuracy metric: % of vertices with exactly correct ecc.

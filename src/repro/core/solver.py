@@ -1,0 +1,318 @@
+"""The metric-generic Algorithm-2 solver core.
+
+Section 3.1's observation — formalised by Dragan et al.'s certificate
+view — is that *every* bound-based eccentricity algorithm is the same
+loop: pick references, order probes farthest-first, tighten Lemma
+3.1/3.3 bounds until every gap closes.  The repository used to
+implement that loop three times (unweighted BFS, weighted Dijkstra,
+directed forward/backward BFS); :class:`EccentricitySolver` implements
+it once, parameterised over a :class:`repro.core.oracles.DistanceOracle`:
+
+1. select ``r`` reference nodes ``Z`` (Algorithm 2, line 1);
+2. one *source probe* per ``z`` in ``Z`` yields ``ecc(z)``, the forward
+   distances (hence the FFO ``L^z``) and the reverse distances
+   (lines 2-4; symmetric metrics get both vectors from one traversal);
+3. every other vertex joins the *territory* ``V^z`` of its closest
+   reference and has its bounds seeded by Lemma 3.1 (lines 5-9);
+4. for each ``z``, *sweep probes* walk ``L^z`` front-to-back; each
+   probe yields exact reverse distances, so Lemma 3.1 raises lower
+   bounds and Lemma 3.3 caps upper bounds for the territory, until
+   every territory member's bounds meet (lines 10-18).
+
+Because the loop is shared, every capability built on it — the anytime
+:meth:`EccentricitySolver.steps` protocol, kIFECC-style budgeting
+(:meth:`run_budgeted`), extremes early-stop
+(:func:`repro.core.extremes.oracle_radius_and_diameter`) and the
+convergence instrumentation of :mod:`repro.analysis.convergence` —
+works identically for unweighted, weighted, and directed inputs.
+
+The unweighted instantiation (:class:`repro.core.ifecc.IFECC`) is
+bit-identical to the historical implementation: same traversal
+sequence, same counters, same snapshots, same results.  Weighted and
+directed instantiations are value-identical to their pre-unification
+ancestors within the oracle's documented tolerance.
+
+Space stays ``O(m + n)`` (Theorem 4.5): the graph, the bound arrays,
+and the ``r`` reference distance vectors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BoundState
+from repro.core.ffo import FarthestFirstOrder, farthest_first_order
+from repro.core.oracles import DistanceOracle
+from repro.core.result import EccentricityResult, ProgressSnapshot
+from repro.counters import TraversalCounter
+from repro.errors import InvalidParameterError
+from repro.sentinels import unreached_mask
+
+__all__ = ["EccentricitySolver", "Territory"]
+
+
+@dataclass
+class Territory:
+    """A reference node's working state during the main loop.
+
+    ``dist_into`` holds ``dist(v, z)`` for every ``v`` — the vector the
+    Lemma 3.3 tail cap reads.  For symmetric metrics it is the FFO's
+    own distance vector; the directed oracle supplies the backward-BFS
+    vector.
+    """
+
+    reference: int
+    ffo: FarthestFirstOrder
+    members: np.ndarray  # vertex ids owned by this reference
+    dist_into: np.ndarray  # dist(., reference)
+
+
+class EccentricitySolver:
+    """Generic Algorithm-2 engine over a pluggable distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The metric back-end (see :mod:`repro.core.oracles`).
+    num_references:
+        ``r``, the reference-node count.  The paper's headline
+        configuration is ``r = 1`` (Section 4.3).
+    strategy:
+        Reference-selection rule, resolved by the oracle (``"degree"``
+        is every metric's default; the unweighted oracle also offers
+        ``"random"`` and ``"center"``).
+    seed:
+        Seed for stochastic strategies; ignored by ``"degree"``.
+    memoize_distances:
+        Cache each probe's distance vector and replay it when a vertex
+        sits at the FFO front of several references (the Section 4.3
+        space/time trade-off; reference vectors are always retained).
+    counter:
+        Optional shared :class:`repro.counters.TraversalCounter`.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        num_references: int = 1,
+        strategy: str = "degree",
+        seed: int = 0,
+        memoize_distances: bool = False,
+        counter: Optional[TraversalCounter] = None,
+    ) -> None:
+        if num_references < 1:
+            raise InvalidParameterError("num_references must be >= 1")
+        if oracle.num_vertices == 0:
+            raise InvalidParameterError("graph must have at least one vertex")
+        self.oracle = oracle
+        self.num_references = min(num_references, oracle.num_vertices)
+        self.strategy = strategy
+        self.seed = seed
+        self.memoize_distances = memoize_distances
+        self.counter = counter if counter is not None else TraversalCounter()
+        self.bounds = BoundState(
+            oracle.num_vertices,
+            dtype=oracle.dtype,
+            tolerance=oracle.tolerance,
+        )
+        self.references = oracle.select_references(
+            strategy, self.num_references, seed
+        )
+        self._territories: List[Territory] = []
+        # source id -> (ecc-or-None, dist(., source)) for probes whose
+        # result is retained: always the references, plus every probe
+        # when memoize_distances is on.
+        self._known: Dict[int, Tuple[Optional[float], np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: reference probes + territory assignment (Alg. 2, 1-9)
+    # ------------------------------------------------------------------
+    def _initialise(self) -> Iterator[ProgressSnapshot]:
+        oracle = self.oracle
+        ffos: List[FarthestFirstOrder] = []
+        reverse: List[np.ndarray] = []
+        for z in self.references:
+            z = int(z)
+            ecc_z, dist_from, dist_into = oracle.source_probe(
+                z, counter=self.counter
+            )
+            if bool(np.any(unreached_mask(dist_from))) or (
+                dist_into is not dist_from
+                and bool(np.any(unreached_mask(dist_into)))
+            ):
+                raise oracle.disconnected_error()
+            ffo = farthest_first_order(dist_from, z)
+            ffos.append(ffo)
+            reverse.append(dist_into)
+            self.bounds.set_exact(z, ffo.eccentricity)
+            self._known[z] = (ffo.eccentricity, dist_into)
+            yield self._snapshot(z)
+
+        # Closest reference per vertex (by forward distance); ties go to
+        # the earlier entry of Z (the higher-degree reference),
+        # matching Example 4.6.
+        dist_matrix = np.stack([f.distances for f in ffos])  # (r, n)
+        owner_idx = np.argmin(dist_matrix, axis=0)
+
+        for idx, ffo in enumerate(ffos):
+            z = int(self.references[idx])
+            members = np.flatnonzero(owner_idx == idx)
+            members = members[~np.isin(members, self.references)]
+            dist_into_z = reverse[idx]
+            # Lemma 3.1 seed from the territory's own reference
+            # (lines 8-9); asymmetric metrics split the two directions.
+            if dist_into_z is ffo.distances:
+                self.bounds.apply_lemma31_subset(
+                    members, ffo.distances[members], ffo.eccentricity
+                )
+            else:
+                self.bounds.apply_lemma31_subset(
+                    members,
+                    dist_into_z[members],
+                    ffo.eccentricity,
+                    dist_from_subset=ffo.distances[members],
+                )
+            self._territories.append(
+                Territory(
+                    reference=z,
+                    ffo=ffo,
+                    members=members.astype(np.int64),
+                    dist_into=dist_into_z,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 2: FFO-ordered probe sweep (Algorithm 2, 10-18)
+    # ------------------------------------------------------------------
+    def steps(self) -> Iterator[ProgressSnapshot]:
+        """Run the algorithm, yielding a snapshot after every traversal.
+
+        Exhausting the iterator completes the exact computation; stopping
+        early leaves valid (possibly unresolved) bounds in
+        :attr:`bounds` — that is the anytime mode kIFECC builds on, now
+        available for every metric.
+        """
+        yield from self._initialise()
+        for territory in self._territories:
+            yield from self._sweep_territory(territory)
+
+    def _sweep_territory(
+        self, territory: Territory
+    ) -> Iterator[ProgressSnapshot]:
+        bounds = self.bounds
+        ffo = territory.ffo
+        dist_into_z = territory.dist_into
+        unresolved = bounds.unresolved_subset(territory.members)
+        if len(unresolved) == 0:
+            return
+        for rank, source in enumerate(ffo.order):
+            source = int(source)
+            if source == territory.reference:
+                continue
+            tail_radius = ffo.distance_of_rank(rank + 1)
+            if source in self._known:
+                # Replay the retained distance vector instead of
+                # re-running the traversal.  Lemma 3.3 stays sound
+                # because the replayed Lemma 3.1 update makes `source` a
+                # probed node of this territory, exactly as a fresh
+                # traversal would.
+                ecc_s, dist_s = self._known[source]
+                fresh_probe = False
+            else:
+                # The vector may alias the oracle's pooled workspace; it
+                # is consumed before the next traversal and only the
+                # memoised copy outlives this iteration.
+                ecc_s, dist_s = self.oracle.sweep_probe(
+                    source, counter=self.counter
+                )
+                if ecc_s is not None:
+                    # The probe determined ecc(source) exactly, even if
+                    # `source` belongs to another territory.  (The
+                    # directed oracle's backward BFS yields no forward
+                    # eccentricity; its probes skip this step.)
+                    bounds.set_exact(source, ecc_s)
+                if self.memoize_distances:
+                    self._known[source] = (ecc_s, dist_s.copy())
+                fresh_probe = True
+            # Lemma 3.1 (lower) for the territory...
+            bounds.raise_lower_subset(unresolved, dist_s[unresolved])
+            # ... and Lemma 3.3's shrinking tail cap (upper).
+            bounds.apply_lemma33_tail(
+                dist_into_z, tail_radius, subset=unresolved
+            )
+            if fresh_probe:
+                yield self._snapshot(source)
+            unresolved = bounds.unresolved_subset(unresolved)
+            if len(unresolved) == 0:
+                break
+
+    def _snapshot(self, source: int) -> ProgressSnapshot:
+        return ProgressSnapshot(
+            bfs_runs=self.counter.bfs_runs,
+            source=source,
+            resolved=self.bounds.num_resolved(),
+            num_vertices=self.oracle.num_vertices,
+        )
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def _algorithm_tag(self) -> str:
+        return f"{self.oracle.metric_name}-{self.num_references}"
+
+    def run(self, algorithm: Optional[str] = None) -> EccentricityResult:
+        """Run to completion and return the exact ED (Algorithm 2)."""
+        start = time.perf_counter()
+        for _ in self.steps():
+            pass
+        elapsed = time.perf_counter() - start
+        return EccentricityResult(
+            eccentricities=self.bounds.eccentricities(),
+            lower=self.bounds.lower.copy(),
+            upper=self.bounds.upper.copy(),
+            exact=True,
+            algorithm=(
+                algorithm if algorithm is not None else self._algorithm_tag()
+            ),
+            num_bfs=self.counter.bfs_runs,
+            elapsed_seconds=elapsed,
+            reference_nodes=self.references.copy(),
+            counter=self.counter,
+        )
+
+    def run_budgeted(
+        self, max_bfs: int, algorithm: Optional[str] = None
+    ) -> EccentricityResult:
+        """Stop after ``max_bfs`` total traversals; lower bounds become
+        the estimate (the anytime by-product of Section 1,
+        contribution 5)."""
+        if max_bfs < 0:
+            raise InvalidParameterError("max_bfs must be non-negative")
+        start = time.perf_counter()
+        exact = True
+        for snapshot in self.steps():
+            if snapshot.bfs_runs >= max_bfs:
+                exact = self.bounds.all_resolved()
+                break
+        else:
+            exact = True
+        elapsed = time.perf_counter() - start
+        return EccentricityResult(
+            eccentricities=self.bounds.lower.copy(),
+            lower=self.bounds.lower.copy(),
+            upper=self.bounds.upper.copy(),
+            exact=exact,
+            algorithm=(
+                algorithm
+                if algorithm is not None
+                else f"{self._algorithm_tag()}(budget={max_bfs})"
+            ),
+            num_bfs=self.counter.bfs_runs,
+            elapsed_seconds=elapsed,
+            reference_nodes=self.references.copy(),
+            counter=self.counter,
+        )

@@ -1,14 +1,21 @@
 """Directed-graph extension: forward eccentricities, radius and diameter
 of strongly connected digraphs via bound propagation (after Akiba,
-Iwata & Kawata 2015, the paper's reference [2])."""
+Iwata & Kawata 2015, the paper's reference [2]).
+
+The directed IFECC variant runs on the shared metric-generic solver
+(see DESIGN.md §5) through :class:`DirectedBFSOracle`'s
+reverse-distance hook."""
 
 from repro.directed.eccentricity import (
     directed_eccentricities,
     directed_ifecc_eccentricities,
+    directed_radius_and_diameter,
+    directed_solver,
     naive_directed_eccentricities,
 )
 from repro.directed.graph import DirectedGraph
 from repro.directed.traversal import (
+    DirectedBFSOracle,
     backward_bfs,
     forward_bfs,
     is_strongly_connected,
@@ -16,10 +23,13 @@ from repro.directed.traversal import (
 
 __all__ = [
     "DirectedGraph",
+    "DirectedBFSOracle",
     "forward_bfs",
     "backward_bfs",
     "is_strongly_connected",
     "directed_eccentricities",
     "directed_ifecc_eccentricities",
+    "directed_radius_and_diameter",
+    "directed_solver",
     "naive_directed_eccentricities",
 ]

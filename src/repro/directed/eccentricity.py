@@ -10,11 +10,15 @@ Lemma 3.1 — for a processed source ``t`` with known ``ecc(t)``:
 * ``ecc(v) >= ecc(t) - dist(t, v)``          (needs ``dist(t, v)``,
   from the *forward* BFS), and ``ecc(v) >= dist(v, t)``.
 
-So each processed source costs one forward + one backward BFS and
-tightens every vertex's bounds, exactly like the undirected
-BFS-framework with twice the traversal cost — the scheme of Akiba,
-Iwata & Kawata (2015) for directed diameters, generalised to the full
-eccentricity distribution.
+Both algorithms here run on the shared metric-generic machinery:
+:func:`directed_ifecc_eccentricities` instantiates
+:class:`repro.core.solver.EccentricitySolver` over
+:class:`repro.directed.traversal.DirectedBFSOracle` (each sweep probe is
+ONE backward BFS; the Lemma 3.3 tail cap closes parity-stuck vertices
+wholesale), while :func:`directed_eccentricities` keeps the two-BFS
+per-source bound-propagation scheme of Akiba, Iwata & Kawata (2015) as
+the comparison baseline, now on :class:`repro.core.bounds.BoundState`
+with the directed reverse-distance hook.
 """
 
 from __future__ import annotations
@@ -24,19 +28,27 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.bounds import BoundState
+from repro.core.extremes import ExtremesResult, oracle_radius_and_diameter
 from repro.core.result import EccentricityResult
+from repro.core.solver import EccentricitySolver
 from repro.directed.graph import DirectedGraph
-from repro.directed.traversal import backward_bfs, forward_bfs
+from repro.directed.traversal import (
+    DirectedBFSOracle,
+    backward_bfs,
+    forward_bfs,
+)
 from repro.errors import DisconnectedGraphError, InvalidParameterError
-from repro.graph.traversal import UNREACHED, BFSCounter
+from repro.graph.traversal import BFSCounter
+from repro.sentinels import UNREACHED
 
 __all__ = [
     "directed_eccentricities",
     "directed_ifecc_eccentricities",
     "naive_directed_eccentricities",
+    "directed_radius_and_diameter",
+    "directed_solver",
 ]
-
-_INF = np.int64(2**40)
 
 
 def naive_directed_eccentricities(
@@ -67,7 +79,9 @@ def directed_eccentricities(
 
     Sources are chosen by alternating the largest-upper-bound vertex
     (periphery probe) with the smallest-lower-bound vertex (center
-    probe), each costing a forward + backward BFS pair.
+    probe), each costing a forward + backward BFS pair.  Bound
+    maintenance runs on :class:`BoundState` with the directed Lemma 3.1
+    (the ``dist_from_t`` hook).
     """
     n = graph.num_vertices
     if n == 0:
@@ -75,17 +89,16 @@ def directed_eccentricities(
     counter = counter if counter is not None else BFSCounter()
     start = time.perf_counter()
 
-    lower = np.zeros(n, dtype=np.int64)
-    upper = np.full(n, _INF, dtype=np.int64)
+    bounds = BoundState(n)
     pick_upper = True
     while True:
-        unresolved = np.flatnonzero(lower != upper)
+        unresolved = np.flatnonzero(~bounds.resolved_mask())
         if len(unresolved) == 0:
             break
         if pick_upper:
-            source = int(unresolved[np.argmax(upper[unresolved])])
+            source = int(unresolved[np.argmax(bounds.upper[unresolved])])
         else:
-            source = int(unresolved[np.argmin(lower[unresolved])])
+            source = int(unresolved[np.argmin(bounds.lower[unresolved])])
         pick_upper = not pick_upper
 
         fwd = forward_bfs(graph, source, counter=counter)
@@ -95,21 +108,13 @@ def directed_eccentricities(
             )
         bwd = backward_bfs(graph, source, counter=counter)
         ecc_s = int(fwd.max()) if n else 0
-        fwd64 = fwd.astype(np.int64)
-        bwd64 = bwd.astype(np.int64)
-        # ecc(v) >= max(dist(v, t), ecc(t) - dist(t, v))
-        lower = np.maximum(lower, bwd64)
-        lower = np.maximum(lower, ecc_s - fwd64)
-        # ecc(v) <= dist(v, t) + ecc(t)
-        upper = np.minimum(upper, bwd64 + ecc_s)
-        lower[source] = upper[source] = ecc_s
-        if np.any(lower > upper):
-            raise InvalidParameterError(
-                "inconsistent directed bounds (bad input graph?)"
-            )
+        # ecc(v) >= max(dist(v, t), ecc(t) - dist(t, v));
+        # ecc(v) <= dist(v, t) + ecc(t).
+        bounds.apply_lemma31(bwd, ecc_s, dist_from_t=fwd)
+        bounds.set_exact(source, ecc_s)
 
     elapsed = time.perf_counter() - start
-    ecc = lower.astype(np.int32)
+    ecc = bounds.lower.astype(np.int32)
     return EccentricityResult(
         eccentricities=ecc,
         lower=ecc.copy(),
@@ -118,6 +123,25 @@ def directed_eccentricities(
         algorithm="DirectedECC",
         num_bfs=counter.bfs_runs,
         elapsed_seconds=elapsed,
+        counter=counter,
+    )
+
+
+def directed_solver(
+    graph: DirectedGraph,
+    counter: Optional[BFSCounter] = None,
+    memoize_distances: bool = False,
+) -> EccentricitySolver:
+    """An :class:`EccentricitySolver` over the directed BFS oracle.
+
+    The solver's :meth:`~EccentricitySolver.steps` iterator is the
+    directed anytime mode: each snapshot leaves valid forward-ecc
+    bounds in ``solver.bounds``.
+    """
+    return EccentricitySolver(
+        DirectedBFSOracle(graph),
+        num_references=1,
+        memoize_distances=memoize_distances,
         counter=counter,
     )
 
@@ -146,61 +170,19 @@ def directed_ifecc_eccentricities(
     cap closes the parity-stuck vertices wholesale — the same reason
     IFECC beats BoundECC on undirected graphs.
     """
-    n = graph.num_vertices
-    if n == 0:
-        raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    solver = directed_solver(graph, counter=counter)
+    return solver.run(algorithm="DirectedIFECC")
 
-    reference = int(np.argmax(graph.out_degrees()))
-    fwd_z = forward_bfs(graph, reference, counter=counter)
-    if np.any(fwd_z == UNREACHED) and n > 1:
-        raise DisconnectedGraphError(
-            2, "directed graph is not strongly connected"
-        )
-    bwd_z = backward_bfs(graph, reference, counter=counter)
-    if np.any(bwd_z == UNREACHED) and n > 1:
-        raise DisconnectedGraphError(
-            2, "directed graph is not strongly connected"
-        )
-    ecc_z = int(fwd_z.max()) if n else 0
-    fwd_z64 = fwd_z.astype(np.int64)
-    bwd_z64 = bwd_z.astype(np.int64)
 
-    # Seed with the directed Lemma 3.1 pair for t = z.
-    lower = np.maximum(bwd_z64, ecc_z - fwd_z64)
-    upper = bwd_z64 + ecc_z
-    lower[reference] = upper[reference] = ecc_z
+def directed_radius_and_diameter(
+    graph: DirectedGraph,
+    counter: Optional[BFSCounter] = None,
+) -> ExtremesResult:
+    """Certified directed radius and diameter with early termination.
 
-    # Forward FFO of z (ties by id).
-    order = np.argsort(-fwd_z64, kind="stable")
-    unresolved = np.flatnonzero(lower != upper)
-    for rank, u in enumerate(order):
-        if len(unresolved) == 0:
-            break
-        u = int(u)
-        if u == reference:
-            continue
-        bwd_u = backward_bfs(graph, u, counter=counter).astype(np.int64)
-        lower = np.maximum(lower, bwd_u)
-        tail = int(fwd_z64[order[rank + 1]]) if rank + 1 < n else 0
-        cap = np.maximum(lower, bwd_z64 + tail)
-        upper = np.minimum(upper, cap)
-        unresolved = unresolved[lower[unresolved] != upper[unresolved]]
-
-    if np.any(lower != upper):  # pragma: no cover - exhausting the
-        # order always closes the bounds (tail reaches 0)
-        raise InvalidParameterError("directed IFECC failed to converge")
-    elapsed = time.perf_counter() - start
-    ecc = lower.astype(np.int32)
-    return EccentricityResult(
-        eccentricities=ecc,
-        lower=ecc.copy(),
-        upper=ecc.copy(),
-        exact=True,
-        algorithm="DirectedIFECC",
-        num_bfs=counter.bfs_runs,
-        elapsed_seconds=elapsed,
-        reference_nodes=np.asarray([reference], dtype=np.int32),
-        counter=counter,
-    )
+    Each probe of the generic extremes driver is a forward + backward
+    BFS pair (the directed :meth:`DirectedBFSOracle.source_probe`), so
+    both certificates close after a handful of pairs instead of the full
+    eccentricity computation.
+    """
+    return oracle_radius_and_diameter(DirectedBFSOracle(graph), counter=counter)

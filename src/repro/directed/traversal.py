@@ -1,16 +1,34 @@
-"""Forward and backward BFS on directed graphs."""
+"""Forward and backward BFS on directed graphs.
+
+Also home of :class:`DirectedBFSOracle`, the asymmetric-metric back-end
+of the generic solver: its reverse-distance hook is what lets
+:class:`repro.core.solver.EccentricitySolver` run the paper's Algorithm
+2 on digraphs, where ``dist(v, t) != dist(t, v)`` and a sweep probe is a
+single *backward* BFS that yields no forward eccentricity.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidVertexError
-from repro.graph.traversal import UNREACHED, BFSCounter
+from repro.counters import TraversalCounter
+from repro.errors import (
+    DisconnectedGraphError,
+    InvalidParameterError,
+    InvalidVertexError,
+)
+from repro.graph.traversal import BFSCounter
+from repro.sentinels import UNREACHED
 from repro.directed.graph import DirectedGraph
 
-__all__ = ["forward_bfs", "backward_bfs", "is_strongly_connected"]
+__all__ = [
+    "forward_bfs",
+    "backward_bfs",
+    "is_strongly_connected",
+    "DirectedBFSOracle",
+]
 
 
 def _bfs(
@@ -91,3 +109,67 @@ def is_strongly_connected(graph: DirectedGraph) -> bool:
     if np.any(forward_bfs(graph, 0) == UNREACHED):
         return False
     return not np.any(backward_bfs(graph, 0) == UNREACHED)
+
+
+class DirectedBFSOracle:
+    """The strongly-connected digraph oracle (asymmetric, ``int32``).
+
+    Probe economics differ from the symmetric oracles in exactly the two
+    ways the :class:`repro.core.oracles.DistanceOracle` protocol allows:
+
+    * :meth:`source_probe` pays a forward + backward BFS *pair* (two
+      counted traversals) — forward for ``ecc_f`` and the FFO, backward
+      for the ``dist(., t)`` vector every bound update needs;
+    * :meth:`sweep_probe` is a single backward BFS and returns ``None``
+      for the eccentricity: ``max_v dist(v, t)`` is the *backward*
+      eccentricity, not the forward one being computed, so the solver
+      skips the ``set_exact`` step for probed sweep sources.
+    """
+
+    dtype = np.dtype(np.int32)
+    tolerance = 0.0
+    symmetric = False
+    metric_name = "DirectedIFECC"
+
+    def __init__(self, graph: DirectedGraph) -> None:
+        self.graph = graph
+        self.num_vertices = graph.num_vertices
+
+    def select_references(
+        self, strategy: str, count: int, seed: int
+    ) -> np.ndarray:
+        # Highest out-degree, ties to the smaller id (stable argsort →
+        # count=1 matches argmax(out_degrees)).
+        if strategy != "degree":
+            raise InvalidParameterError(
+                f"directed solver supports only the 'degree' strategy, "
+                f"got {strategy!r}"
+            )
+        order = np.argsort(-self.graph.out_degrees(), kind="stable")
+        return order[:count].astype(np.int32)
+
+    def source_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        fwd = forward_bfs(self.graph, source, counter=counter)
+        bwd = backward_bfs(self.graph, source, counter=counter)
+        ecc = int(fwd.max()) if self.num_vertices else 0
+        return ecc, fwd, bwd
+
+    def sweep_probe(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> Tuple[Optional[float], np.ndarray]:
+        return None, backward_bfs(self.graph, source, counter=counter)
+
+    def disconnected_error(self) -> DisconnectedGraphError:
+        return DisconnectedGraphError(
+            2, "directed graph is not strongly connected"
+        )
+
+    def gap_cap(self) -> float:
+        # Any forward eccentricity of an SCC is < n.
+        return float(self.num_vertices)

@@ -60,9 +60,10 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, InvalidVertexError
 from repro.graph.csr import Graph
+from repro.sentinels import UNREACHED
 
 if TYPE_CHECKING:  # runtime import would be circular; only annotations need it
-    from repro.graph.traversal import BFSCounter
+    from repro.counters import TraversalCounter as BFSCounter
 
 __all__ = [
     "ALPHA",
@@ -73,9 +74,6 @@ __all__ = [
     "engine_for",
     "gather_csr_arcs",
 ]
-
-#: Sentinel distance for vertices not reached by a traversal.
-UNREACHED = np.int32(-1)
 
 #: Direction heuristic: go bottom-up when ``m_frontier > m_unvisited / ALPHA``.
 #: Beamer's C++ implementation uses 14; numpy's bottom-up probe costs about

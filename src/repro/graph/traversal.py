@@ -28,17 +28,18 @@ The central entry points are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.counters import BFSCounter, TraversalCounter
 from repro.graph.csr import Graph
 from repro.graph.engine import UNREACHED, engine_for, gather_csr_arcs
 
 __all__ = [
     "UNREACHED",
     "BFSCounter",
+    "TraversalCounter",
     "bfs_distances",
     "bfs_distances_bounded",
     "eccentricity",
@@ -46,56 +47,6 @@ __all__ = [
     "multi_source_bfs",
     "all_pairs_distances",
 ]
-
-
-@dataclass
-class BFSCounter:
-    """Counts traversal work for cost accounting.
-
-    The paper compares approximate algorithms "under the same number of
-    BFSs" (Section 7.3) and reports exact algorithms by BFS count in the
-    case study (Section 7.5); benchmarks thread one counter through an
-    algorithm run to recover those numbers.
-
-    ``edges_scanned`` counts arcs expanded top-down (the classic BFS cost
-    metric); ``edges_inspected`` additionally includes the arcs that
-    bottom-up levels of the direction-optimizing engine examined while
-    probing unvisited vertices — edges that are inspected but never
-    "scanned".  For a purely top-down traversal the two are equal.
-    """
-
-    bfs_runs: int = 0
-    edges_scanned: int = 0
-    edges_inspected: int = 0
-    vertices_visited: int = 0
-    history: list[str] = field(default_factory=list)
-
-    def record(
-        self,
-        edges: int,
-        vertices: int,
-        label: str = "",
-        inspected: Optional[int] = None,
-    ) -> None:
-        """Record one completed BFS.
-
-        ``inspected`` defaults to ``edges`` (a traversal that never ran
-        bottom-up inspects exactly what it scans).
-        """
-        self.bfs_runs += 1
-        self.edges_scanned += edges
-        self.edges_inspected += edges if inspected is None else inspected
-        self.vertices_visited += vertices
-        if label:
-            self.history.append(label)
-
-    def merge(self, other: "BFSCounter") -> None:
-        """Fold another counter's totals into this one."""
-        self.bfs_runs += other.bfs_runs
-        self.edges_scanned += other.edges_scanned
-        self.edges_inspected += other.edges_inspected
-        self.vertices_visited += other.vertices_visited
-        self.history.extend(other.history)
 
 
 def _expand_frontier(graph: Graph, frontier: np.ndarray) -> np.ndarray:

@@ -1,0 +1,72 @@
+"""Shared sentinel constants for every shortest-path metric.
+
+The three metric back-ends (unweighted BFS, weighted Dijkstra, directed
+forward/backward BFS) historically each carried their own "not reached"
+and "no upper bound yet" stand-ins (``-1``, ``numpy.inf``, and a private
+``2**40``).  This module is the single source of truth; the solver core
+(:mod:`repro.core.solver`), the bound state (:mod:`repro.core.bounds`)
+and all traversal kernels import from here.
+
+Two families of sentinel exist because the two arrays they live in have
+different dtypes:
+
+* **distance vectors** mark *unreachable* vertices — ``UNREACHED``
+  (``-1``) in integer hop-count vectors, ``UNREACHED_FLOAT``
+  (``numpy.inf``) in ``float64`` weighted-distance vectors;
+* **upper-bound vectors** start at *+infinity* — ``INFINITE_ECC``
+  (``2**30``, int32-safe and summable without overflow) for integer
+  metrics, ``INFINITE_ECC_FLOAT`` (``numpy.inf``) for float metrics.
+
+:func:`unreached_mask` unifies the "which entries are unreachable" test
+across both conventions; :func:`infinity_for` picks the right upper
+sentinel for a dtype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "UNREACHED",
+    "UNREACHED_FLOAT",
+    "INFINITE_ECC",
+    "INFINITE_ECC_FLOAT",
+    "unreached_mask",
+    "infinity_for",
+]
+
+#: Sentinel distance for vertices not reached by an integer traversal
+#: (BFS hop counts, forward/backward directed BFS).
+UNREACHED = np.int32(-1)
+
+#: Sentinel distance for vertices not reached by a float traversal
+#: (Dijkstra weighted distances).
+UNREACHED_FLOAT = np.float64(np.inf)
+
+#: Stand-in for the +infinity initial upper bound of integer metrics
+#: (int32-safe; ``INFINITE_ECC + n`` never overflows for any graph the
+#: int32 CSR can hold).
+INFINITE_ECC = np.int32(2**30)
+
+#: The +infinity initial upper bound of float metrics.
+INFINITE_ECC_FLOAT = np.float64(np.inf)
+
+
+def unreached_mask(distances: np.ndarray) -> np.ndarray:
+    """Boolean mask of unreachable entries for either convention.
+
+    Integer vectors use the ``UNREACHED`` (-1) marker; float vectors use
+    ``+inf``.  The dtype of ``distances`` selects the test.
+
+    :dtype mask: bool_
+    """
+    if np.issubdtype(distances.dtype, np.floating):
+        return np.isinf(distances)
+    return distances == UNREACHED
+
+
+def infinity_for(dtype: np.dtype) -> np.generic:
+    """The +infinity upper-bound sentinel matching ``dtype``."""
+    if np.issubdtype(np.dtype(dtype), np.floating):
+        return INFINITE_ECC_FLOAT
+    return INFINITE_ECC

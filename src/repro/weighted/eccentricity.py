@@ -6,6 +6,14 @@ an exact weighted eccentricity-distribution algorithm with the same
 structure: one reference traversal, a farthest-first order, and bound
 tightening until every gap closes.
 
+Since the unification on :class:`repro.core.solver.EccentricitySolver`,
+this module is a thin instantiation over
+:class:`repro.weighted.dijkstra.DijkstraOracle` — which brings the full
+runtime along for free: the anytime ``steps()`` protocol (build a solver
+with :func:`weighted_solver`), kIFECC-style budgeting
+(:func:`approximate_weighted_eccentricities`) and extremes early-stop
+(:func:`weighted_radius_and_diameter`).
+
 Floating-point note: bounds are compared with an absolute tolerance
 (default 1e-9) because distances are sums of float64 weights; with
 integer-valued weights the comparisons are exact.
@@ -13,18 +21,28 @@ integer-valued weights the comparisons are exact.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.core.extremes import ExtremesResult, oracle_radius_and_diameter
 from repro.core.result import EccentricityResult
-from repro.errors import DisconnectedGraphError, InvalidParameterError
+from repro.core.solver import EccentricitySolver
+from repro.errors import InvalidParameterError
 from repro.graph.traversal import BFSCounter
-from repro.weighted.dijkstra import weighted_eccentricity_and_distances
+from repro.weighted.dijkstra import (
+    DijkstraOracle,
+    weighted_eccentricity_and_distances,
+)
 from repro.weighted.graph import WeightedGraph
 
-__all__ = ["weighted_eccentricities", "naive_weighted_eccentricities"]
+__all__ = [
+    "weighted_eccentricities",
+    "naive_weighted_eccentricities",
+    "approximate_weighted_eccentricities",
+    "weighted_radius_and_diameter",
+    "weighted_solver",
+]
 
 _TOL = 1e-9
 
@@ -43,6 +61,26 @@ def naive_weighted_eccentricities(
     return ecc
 
 
+def weighted_solver(
+    graph: WeightedGraph,
+    counter: Optional[BFSCounter] = None,
+    tolerance: float = _TOL,
+    memoize_distances: bool = False,
+) -> EccentricitySolver:
+    """An :class:`EccentricitySolver` over Dijkstra distances.
+
+    The solver's :meth:`~EccentricitySolver.steps` iterator is the
+    weighted anytime mode: every yielded snapshot leaves valid
+    lower/upper bounds in ``solver.bounds``.
+    """
+    return EccentricitySolver(
+        DijkstraOracle(graph, tolerance=tolerance),
+        num_references=1,
+        memoize_distances=memoize_distances,
+        counter=counter,
+    )
+
+
 def weighted_eccentricities(
     graph: WeightedGraph,
     counter: Optional[BFSCounter] = None,
@@ -51,60 +89,45 @@ def weighted_eccentricities(
     """Exact weighted ED with the IFECC scheme (Dijkstra traversals).
 
     Returns an :class:`EccentricityResult` whose arrays are ``float64``.
-    Raises :class:`DisconnectedGraphError` on disconnected inputs.
+    Raises :class:`repro.errors.DisconnectedGraphError` on disconnected
+    inputs.
     """
-    n = graph.num_vertices
-    if n == 0:
-        raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    solver = weighted_solver(graph, counter=counter, tolerance=tolerance)
+    return solver.run(algorithm="IFECC-weighted")
 
-    reference = graph.max_degree_vertex()
-    ecc_z, dist_z = weighted_eccentricity_and_distances(
-        graph, reference, counter=counter
+
+def approximate_weighted_eccentricities(
+    graph: WeightedGraph,
+    k: int,
+    counter: Optional[BFSCounter] = None,
+    tolerance: float = _TOL,
+) -> EccentricityResult:
+    """Weighted kIFECC: stop after ``k`` FFO-front Dijkstra probes.
+
+    The weighted twin of
+    :func:`repro.core.kifecc.approximate_eccentricities` (Algorithm 3)
+    with the paper's lower-bound estimator: the budget is the reference
+    traversal plus ``k`` probes, and the returned estimate is the
+    lower-bound array — monotonically tightening in ``k``.
+    """
+    if k < 0:
+        raise InvalidParameterError("sample size k must be >= 0")
+    solver = weighted_solver(graph, counter=counter, tolerance=tolerance)
+    return solver.run_budgeted(
+        max_bfs=k + 1, algorithm=f"kIFECC-weighted(k={k})"
     )
-    if np.any(np.isinf(dist_z)):
-        raise DisconnectedGraphError(2, "weighted graph is disconnected")
 
-    lower = np.maximum(dist_z, ecc_z - dist_z)
-    upper = dist_z + ecc_z
-    lower[reference] = upper[reference] = ecc_z
 
-    # Farthest-first order of the reference.
-    order = np.argsort(-dist_z, kind="stable")
-    resolved = upper - lower <= tolerance
-    for rank, source in enumerate(order):
-        if resolved.all():
-            break
-        source = int(source)
-        if source == reference:
-            continue
-        # Note: like Algorithm 2, every order position is traversed even
-        # if the source's own bounds already met — the Lemma 3.3 tail cap
-        # is only sound when the whole order prefix has been probed.
-        ecc_s, dist_s = weighted_eccentricity_and_distances(
-            graph, source, counter=counter
-        )
-        lower[source] = upper[source] = ecc_s
-        lower = np.maximum(lower, np.maximum(dist_s, ecc_s - dist_s))
-        upper = np.minimum(upper, dist_s + ecc_s)
-        tail = (
-            float(dist_z[order[rank + 1]]) if rank + 1 < len(order) else 0.0
-        )
-        cap = np.maximum(lower, dist_z + tail)
-        upper = np.minimum(upper, cap)
-        resolved = upper - lower <= tolerance
+def weighted_radius_and_diameter(
+    graph: WeightedGraph,
+    counter: Optional[BFSCounter] = None,
+    tolerance: float = _TOL,
+) -> ExtremesResult:
+    """Certified weighted radius and diameter with early termination.
 
-    elapsed = time.perf_counter() - start
-    ecc = lower.copy()
-    return EccentricityResult(
-        eccentricities=ecc,
-        lower=lower,
-        upper=upper,
-        exact=bool(resolved.all()),
-        algorithm="IFECC-weighted",
-        num_bfs=counter.bfs_runs,
-        elapsed_seconds=elapsed,
-        reference_nodes=np.asarray([reference], dtype=np.int32),
-        counter=counter,
+    The extremes rules are bound statements, so the generic driver
+    applies unchanged; certification is within ``tolerance``.
+    """
+    return oracle_radius_and_diameter(
+        DijkstraOracle(graph, tolerance=tolerance), counter=counter
     )

@@ -5,6 +5,8 @@ import pytest
 
 from repro.directed.eccentricity import (
     directed_eccentricities,
+    directed_radius_and_diameter,
+    directed_solver,
     naive_directed_eccentricities,
 )
 from repro.directed.graph import DirectedGraph
@@ -210,3 +212,47 @@ class TestDirectedIFECC:
 
         g = DirectedGraph.from_arcs([], num_vertices=1)
         assert directed_ifecc_eccentricities(g).eccentricities.tolist() == [0]
+
+
+class TestDirectedAnytime:
+    def test_steps_snapshots_sandwich_truth(self):
+        g = random_strongly_connected(60, 90, seed=2)
+        truth = naive_directed_eccentricities(g)
+        solver = directed_solver(g)
+        resolved_trace = []
+        for snapshot in solver.steps():
+            resolved_trace.append(snapshot.resolved)
+            assert np.all(solver.bounds.lower <= truth)
+            assert np.all(solver.bounds.upper >= truth)
+        assert resolved_trace == sorted(resolved_trace)
+        assert resolved_trace[-1] == g.num_vertices
+        np.testing.assert_array_equal(solver.bounds.lower, truth)
+
+
+class TestDirectedExtremes:
+    def test_radius_and_diameter(self):
+        for seed in range(4):
+            g = random_strongly_connected(45, 70, seed)
+            truth = naive_directed_eccentricities(g)
+            extremes = directed_radius_and_diameter(g)
+            assert extremes.radius == truth.min()
+            assert extremes.diameter == truth.max()
+            assert truth[extremes.center_vertex] == truth.min()
+            assert truth[extremes.peripheral_vertex] == truth.max()
+
+    def test_cycle(self):
+        extremes = directed_radius_and_diameter(directed_cycle(8))
+        assert extremes.radius == extremes.diameter == 7
+
+    def test_early_stop_beats_full_sweep(self):
+        g = random_strongly_connected(150, 400, seed=5)
+        extremes = directed_radius_and_diameter(g)
+        full = directed_eccentricities(g)
+        # Each directed probe costs a forward + backward pair; the
+        # extremes run must still undercut the full eccentricity solve.
+        assert extremes.num_bfs < full.num_bfs
+
+    def test_not_strongly_connected_rejected(self):
+        g = DirectedGraph.from_arcs([(0, 1), (1, 2)])
+        with pytest.raises(DisconnectedGraphError):
+            directed_radius_and_diameter(g)

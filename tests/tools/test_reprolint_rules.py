@@ -120,6 +120,35 @@ class TestBoundsApi:
         )
         assert "R2" not in codes(diags)
 
+    def test_bare_names_fire_in_solver_core(self):
+        # In BOUNDS_PROTECTED_MODULES even bare lower/upper locals are
+        # bound arrays: raw writes would bypass the BoundState invariant.
+        diags = run(
+            wrap("def f(x: int) -> None:\n    lower = x\n    upper = x\n"),
+            path="src/repro/core/solver.py",
+            select="R2",
+        )
+        assert len(diags) == 2
+
+    def test_bare_names_fire_in_metric_instantiations(self):
+        for path in (
+            "src/repro/weighted/eccentricity.py",
+            "src/repro/directed/eccentricity.py",
+        ):
+            diags = run(
+                wrap("def f(x: int) -> None:\n    lower = x\n"),
+                path=path,
+                select="R2",
+            )
+            assert len(diags) == 1, path
+
+    def test_bare_names_silent_outside_protected_modules(self):
+        diags = run(
+            wrap("def f(x: int) -> int:\n    lower = x\n    return lower\n"),
+            select="R2",
+        )
+        assert diags == []
+
 
 # ----------------------------------------------------------------- R3
 class TestImportHygiene:

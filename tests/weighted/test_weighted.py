@@ -13,8 +13,11 @@ from repro.errors import (
 from repro.graph.generators import cycle_graph, path_graph
 from repro.weighted.dijkstra import dijkstra_distances
 from repro.weighted.eccentricity import (
+    approximate_weighted_eccentricities,
     naive_weighted_eccentricities,
     weighted_eccentricities,
+    weighted_radius_and_diameter,
+    weighted_solver,
 )
 from repro.weighted.graph import WeightedGraph
 from helpers import random_connected_graph
@@ -170,3 +173,72 @@ class TestWeightedIFECC:
         result = weighted_eccentricities(g)
         assert np.all(result.lower <= truth + 1e-9)
         assert np.all(result.upper >= truth - 1e-9)
+
+
+class TestWeightedKIFECC:
+    def test_budget_estimate_is_lower_bound(self):
+        g = random_weighted_graph(60, 50, seed=3)
+        truth = naive_weighted_eccentricities(g)
+        for k in (0, 1, 3, 7):
+            result = approximate_weighted_eccentricities(g, k=k)
+            assert result.num_bfs <= k + 1
+            assert np.all(result.eccentricities <= truth + 1e-9)
+
+    def test_exact_at_large_budget(self):
+        g = random_weighted_graph(45, 35, seed=6)
+        truth = naive_weighted_eccentricities(g)
+        result = approximate_weighted_eccentricities(g, k=g.num_vertices)
+        assert result.exact
+        np.testing.assert_allclose(result.eccentricities, truth)
+
+    def test_algorithm_tag(self):
+        g = random_weighted_graph(20, 10, seed=0)
+        result = approximate_weighted_eccentricities(g, k=2)
+        assert result.algorithm == "kIFECC-weighted(k=2)"
+
+    def test_negative_budget_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        g = random_weighted_graph(10, 5, seed=0)
+        with pytest.raises(InvalidParameterError):
+            approximate_weighted_eccentricities(g, k=-1)
+
+
+class TestWeightedAnytime:
+    def test_steps_snapshots_monotone(self):
+        g = random_weighted_graph(80, 90, seed=4)
+        truth = naive_weighted_eccentricities(g)
+        solver = weighted_solver(g)
+        resolved_trace = []
+        for snapshot in solver.steps():
+            resolved_trace.append(snapshot.resolved)
+            assert np.all(solver.bounds.lower <= truth + 1e-9)
+            assert np.all(solver.bounds.upper >= truth - 1e-9)
+        assert resolved_trace == sorted(resolved_trace)
+        assert resolved_trace[-1] == g.num_vertices
+
+    def test_radius_and_diameter(self):
+        for seed in range(4):
+            g = random_weighted_graph(50, 45, seed)
+            truth = naive_weighted_eccentricities(g)
+            extremes = weighted_radius_and_diameter(g)
+            assert extremes.radius == pytest.approx(truth.min())
+            assert extremes.diameter == pytest.approx(truth.max())
+            assert truth[extremes.center_vertex] == pytest.approx(
+                truth.min()
+            )
+            assert truth[extremes.peripheral_vertex] == pytest.approx(
+                truth.max()
+            )
+
+    def test_extremes_early_stop(self):
+        g = random_weighted_graph(140, 170, seed=11)
+        extremes = weighted_radius_and_diameter(g)
+        # Certifying both extremes must undercut the n Dijkstra runs the
+        # naive oracle needs.
+        assert extremes.num_bfs < g.num_vertices
+
+    def test_extremes_disconnected_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)], num_vertices=3)
+        with pytest.raises(DisconnectedGraphError):
+            weighted_radius_and_diameter(g)

@@ -10,6 +10,7 @@ __all__ = [
     "SRC_PREFIX",
     "CSR_MUTATION_ALLOWLIST",
     "BOUNDS_MODULE",
+    "BOUNDS_PROTECTED_MODULES",
     "BANNED_SRC_IMPORTS",
     "ALLOWED_SRC_IMPORT_ROOTS",
     "HOT_PATH_PREFIXES",
@@ -38,6 +39,19 @@ CSR_MUTATION_ALLOWLIST = frozenset(
 #: other code must go through the BoundState API (Lemma 3.1 / 3.3).
 BOUNDS_MODULE = "src/repro/core/bounds.py"
 
+#: Solver-core modules where even *bare* ``lower`` / ``upper`` local
+#: names count as bound arrays for R2.  These are the metric-generic
+#: Algorithm-2 loop and its weighted/directed instantiations — the
+#: modules where a raw bound write would bypass the tolerance-aware
+#: invariant checks the unification introduced.
+BOUNDS_PROTECTED_MODULES = frozenset(
+    {
+        "src/repro/core/solver.py",
+        "src/repro/weighted/eccentricity.py",
+        "src/repro/directed/eccentricity.py",
+    }
+)
+
 #: Heavyweight graph libraries that must never leak into shipped code;
 #: they are test/bench-only oracles.
 BANNED_SRC_IMPORTS = frozenset({"networkx", "scipy", "pandas", "matplotlib"})
@@ -49,11 +63,17 @@ ALLOWED_SRC_IMPORT_ROOTS = frozenset({"numpy", "repro"})
 #: Modules whose loops dominate the paper's measured runtimes.  Nested
 #: Python-level loops here silently demote "scalable" to "quadratic
 #: interpreter time".
+#: (weighted/dijkstra.py is deliberately absent: binary-heap Dijkstra is
+#: an inherently scalar loop; its cost is the metric's price, not an
+#: accidental de-vectorisation.)
 HOT_PATH_PREFIXES = (
     "src/repro/core/",
     "src/repro/graph/engine.py",
     "src/repro/graph/traversal.py",
     "src/repro/graph/msbfs.py",
+    "src/repro/weighted/eccentricity.py",
+    "src/repro/directed/eccentricity.py",
+    "src/repro/directed/traversal.py",
 )
 
 #: Modules exempt from the ``__all__`` requirement (script entry points).

@@ -14,7 +14,7 @@ import ast
 from typing import Iterator, Optional
 
 from reprolint import astutil
-from reprolint.config import BOUNDS_MODULE
+from reprolint.config import BOUNDS_MODULE, BOUNDS_PROTECTED_MODULES
 from reprolint.diagnostics import Diagnostic
 from reprolint.engine import ModuleContext
 from reprolint.registry import Rule, rule
@@ -23,15 +23,19 @@ __all__ = ["BoundsApiRule"]
 
 _BOUND_ATTRS = frozenset({"lower", "upper"})
 _BOUND_NAMES = frozenset({"ecc_lower", "ecc_upper"})
+#: In the solver-core modules (BOUNDS_PROTECTED_MODULES) even bare
+#: ``lower`` / ``upper`` locals are treated as bound arrays.
+_PROTECTED_BARE_NAMES = _BOUND_NAMES | _BOUND_ATTRS
 
 
-def _bound_target(node: ast.expr) -> Optional[str]:
+def _bound_target(node: ast.expr, strict_names: bool) -> Optional[str]:
     """Describe the written bound array, or ``None`` if not one."""
     if isinstance(node, ast.Subscript):
-        return _bound_target(node.value)
+        return _bound_target(node.value, strict_names)
     if isinstance(node, ast.Attribute) and node.attr in _BOUND_ATTRS:
         return f".{node.attr}"
-    if isinstance(node, ast.Name) and node.id in _BOUND_NAMES:
+    names = _PROTECTED_BARE_NAMES if strict_names else _BOUND_NAMES
+    if isinstance(node, ast.Name) and node.id in names:
         return node.id
     return None
 
@@ -50,13 +54,14 @@ class BoundsApiRule(Rule):
         return ctx.path != BOUNDS_MODULE
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        strict_names = ctx.path in BOUNDS_PROTECTED_MODULES
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
                 continue
             # Class-level field declarations (`lower: np.ndarray`) inside a
             # dataclass body are Name targets, not bound-array writes.
             for target in astutil.assignment_targets(node):
-                described = _bound_target(target)
+                described = _bound_target(target, strict_names)
                 if described is None:
                     continue
                 if isinstance(target, ast.Name) and isinstance(
