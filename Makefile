@@ -41,9 +41,10 @@ check: test tier-guard lint typecheck
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick BFS-engine perf check (CI runs this and uploads the JSON): seed
-# kernel vs. top-down-only vs. direction-optimizing hybrid on the
-# generator suite; writes BENCH_bfs_engine.json at the repo root.
+# Quick BFS-engine perf check (CI runs this and uploads both files):
+# seed kernel vs. top-down-only vs. direction-optimizing hybrid on the
+# generator suite; writes BENCH_bfs_engine.json plus the structured
+# run-record artifact BENCH_trace_ifecc.jsonl at the repo root.
 bench-smoke:
 	python benchmarks/bench_bfs_engine.py --smoke
 

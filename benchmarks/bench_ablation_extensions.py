@@ -16,7 +16,6 @@ oracle.  For digraphs we compare two designs:
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
@@ -28,6 +27,7 @@ from repro.directed.eccentricity import (
 )
 from repro.directed.graph import DirectedGraph
 from repro.directed.eccentricity import directed_radius_and_diameter
+from repro.obs.trace import Stopwatch
 from repro.weighted.eccentricity import (
     naive_weighted_eccentricities,
     weighted_eccentricities,
@@ -52,12 +52,12 @@ def test_weighted(benchmark, name):
         wg = WeightedGraph.from_edges(
             triples, num_vertices=base.num_vertices
         )
-        start = time.perf_counter()
+        watch = Stopwatch()
         fast = weighted_eccentricities(wg)
-        t_fast = time.perf_counter() - start
-        start = time.perf_counter()
+        t_fast = watch.elapsed()
+        watch = Stopwatch()
         truth = naive_weighted_eccentricities(wg)
-        t_naive = time.perf_counter() - start
+        t_naive = watch.elapsed()
         np.testing.assert_allclose(fast.eccentricities, truth)
         return t_fast, t_naive, fast.num_bfs, wg.num_vertices
 
@@ -71,15 +71,15 @@ def test_directed(benchmark, name):
     def run():
         base = graph_for(name)
         dg = DirectedGraph.from_undirected(base)
-        start = time.perf_counter()
+        watch = Stopwatch()
         bound = directed_eccentricities(dg)
-        t_bound = time.perf_counter() - start
-        start = time.perf_counter()
+        t_bound = watch.elapsed()
+        watch = Stopwatch()
         ifecc = directed_ifecc_eccentricities(dg)
-        t_ifecc = time.perf_counter() - start
-        start = time.perf_counter()
+        t_ifecc = watch.elapsed()
+        watch = Stopwatch()
         truth = naive_directed_eccentricities(dg)
-        t_naive = time.perf_counter() - start
+        t_naive = watch.elapsed()
         np.testing.assert_array_equal(bound.eccentricities, truth)
         np.testing.assert_array_equal(ifecc.eccentricities, truth)
         _rows[("directed-bound", name)] = (
@@ -108,15 +108,15 @@ def test_extremes(benchmark, name):
             triples, num_vertices=base.num_vertices
         )
         dg = DirectedGraph.from_undirected(base)
-        start = time.perf_counter()
+        watch = Stopwatch()
         w_ext = weighted_radius_and_diameter(wg)
-        t_w = time.perf_counter() - start
-        start = time.perf_counter()
+        t_w = watch.elapsed()
+        watch = Stopwatch()
         d_ext = directed_radius_and_diameter(dg)
-        t_d = time.perf_counter() - start
-        start = time.perf_counter()
+        t_d = watch.elapsed()
+        watch = Stopwatch()
         w_truth = naive_weighted_eccentricities(wg)
-        t_naive = time.perf_counter() - start
+        t_naive = watch.elapsed()
         assert w_ext.radius == pytest.approx(w_truth.min())
         assert w_ext.diameter == pytest.approx(w_truth.max())
         _rows[("dir-extrem", name)] = (

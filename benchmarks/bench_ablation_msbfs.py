@@ -8,7 +8,6 @@ a near-constant number of traversals.  This bench quantifies both gaps.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
@@ -16,6 +15,7 @@ import pytest
 from repro.baselines.naive import naive_eccentricities
 from repro.core.ifecc import compute_eccentricities
 from repro.graph.msbfs import msbfs_eccentricities
+from repro.obs.trace import Stopwatch
 
 from bench_common import graph_for, record, small_datasets, truth_for
 
@@ -29,19 +29,19 @@ def test_three_way(benchmark, name):
         graph = graph_for(name)
         truth = truth_for(name)
 
-        start = time.perf_counter()
+        watch = Stopwatch()
         sequential = naive_eccentricities(graph)
-        t_naive = time.perf_counter() - start
+        t_naive = watch.elapsed()
         np.testing.assert_array_equal(sequential.eccentricities, truth)
 
-        start = time.perf_counter()
+        watch = Stopwatch()
         bitparallel = msbfs_eccentricities(graph)
-        t_msbfs = time.perf_counter() - start
+        t_msbfs = watch.elapsed()
         np.testing.assert_array_equal(bitparallel, truth)
 
-        start = time.perf_counter()
+        watch = Stopwatch()
         ifecc = compute_eccentricities(graph)
-        t_ifecc = time.perf_counter() - start
+        t_ifecc = watch.elapsed()
         np.testing.assert_array_equal(ifecc.eccentricities, truth)
 
         return t_naive, t_msbfs, t_ifecc

@@ -7,7 +7,10 @@ faithful copy of the seed level-synchronous kernel (per-run allocation,
 generator suite (paper example, random power-law, grid, star).  Writes
 machine-readable ``BENCH_bfs_engine.json`` at the repository root with
 per-level direction decisions and edges-inspected counts, so Figure
-8-style runtime claims are auditable.
+8-style runtime claims are auditable.  Alongside it the suite writes
+``BENCH_trace_ifecc.jsonl`` — a structured :mod:`repro.obs.record` run
+record of one traced IFECC run on the power-law graph — so every perf
+PR carries a replayable probe-by-probe account, not just aggregates.
 
 Run standalone::
 
@@ -23,7 +26,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,9 +40,11 @@ from repro.graph.generators import (
     star_graph,
 )
 from repro.graph.traversal import UNREACHED
+from repro.obs.trace import Stopwatch
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_bfs_engine.json"
+DEFAULT_TRACE_OUT = REPO_ROOT / "BENCH_trace_ifecc.jsonl"
 
 #: The aggregate-speedup claim the JSON must witness on the power-law
 #: graph (hybrid vs. seed kernel) in full mode.
@@ -122,10 +126,10 @@ def _time_total(
     """Best-of-``repeats`` total seconds to run ``kernel`` on all sources."""
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        watch = Stopwatch()
         for s in sources:
             kernel(s)
-        best = min(best, time.perf_counter() - start)
+        best = min(best, watch.elapsed())
     return best
 
 
@@ -226,6 +230,17 @@ def run_suite(
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_bfs_engine] wrote {out_path}")
+
+    from bench_common import write_trace_record
+
+    powerlaw_name = str(powerlaw["name"])
+    trace_path = out_path.parent / DEFAULT_TRACE_OUT.name
+    trace_record = write_trace_record(graphs[powerlaw_name][1], trace_path)
+    print(
+        f"[bench_bfs_engine] wrote {trace_path} "
+        f"({len(trace_record.events)} events, "
+        f"{trace_record.result.get('num_traversals', '?')} traversals)"
+    )
     return report
 
 
@@ -254,6 +269,13 @@ def test_engine_beats_seed_kernel(benchmark) -> None:  # type: ignore[no-untyped
     for r in graphs["powerlaw-4k"]["runs"]:
         assert r["edges_inspected"] >= r["edges_scanned"]
     assert DEFAULT_OUT.exists()
+    # The run-record artifact rides along and round-trips.
+    assert DEFAULT_TRACE_OUT.exists()
+    from repro.obs.record import RunRecord
+
+    rec = RunRecord.read_jsonl(str(DEFAULT_TRACE_OUT))
+    assert rec.result["exact"] is True
+    assert len(rec.probe_events()) == rec.result["num_traversals"]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

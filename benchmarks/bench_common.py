@@ -15,6 +15,12 @@ evaluation (Section 7).  The conventions:
 
 Module-level caches keep each dataset's graph, exact eccentricities, and
 PLL index shared across benchmark modules within one pytest session.
+
+Wall-clock measurement goes through :class:`repro.obs.trace.Stopwatch`
+(reprolint R8 bans bare ``time.perf_counter()`` pairs in the library;
+benchmarks follow the same convention), and :func:`write_trace_record`
+packages one traced IFECC run as the machine-readable run-record
+artifact CI uploads next to ``BENCH_bfs_engine.json``.
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.baselines.naive import naive_eccentricities
-from repro.core.ifecc import compute_eccentricities
+from repro.core.ifecc import IFECC, compute_eccentricities
 from repro.datasets.loader import load_dataset
 from repro.datasets.registry import dataset_names, get_spec
 from repro.errors import BudgetExhaustedError
 from repro.graph.csr import Graph
+from repro.obs.record import RunRecord
+from repro.obs.trace import MemorySink, tracing
 from repro.pll.index import PLLIndex, build_pll_index
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -101,6 +109,29 @@ def record(experiment: str, lines) -> None:
     _written_this_session.add(experiment)
     with open(RESULTS_DIR / f"{experiment}.txt", mode, encoding="utf-8") as f:
         f.write(f"# run {stamp}\n{text}\n\n")
+
+
+def write_trace_record(graph: Graph, out_path: Path) -> RunRecord:
+    """Run IFECC on ``graph`` under a capturing tracer; save the record.
+
+    The record (header / per-traversal events / footer, see
+    :mod:`repro.obs.record`) is the structured counterpart of the
+    aggregate timings in ``BENCH_bfs_engine.json``: it pins the exact
+    probe sequence, per-BFS direction decisions, and final result, so a
+    perf regression can be diagnosed from the artifact alone.
+    """
+    sink = MemorySink()
+    with tracing(sink) as tracer:
+        result = IFECC(graph).run()
+    record = RunRecord.from_run(
+        result,
+        graph,
+        sink.events,
+        config={"harness": "bench-smoke"},
+        metrics=tracer.metrics.snapshot(),
+    )
+    record.write_jsonl(str(out_path))
+    return record
 
 
 def fmt_seconds(seconds: Optional[float]) -> str:

@@ -11,7 +11,6 @@ We reproduce the orderings and the stage breakdown at stand-in scale.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
@@ -19,6 +18,7 @@ import pytest
 from repro.baselines.boundecc import boundecc_eccentricities
 from repro.baselines.pllecc import pllecc_eccentricities
 from repro.core.ifecc import compute_eccentricities
+from repro.obs.trace import Stopwatch
 
 from bench_common import (
     BOUNDECC_MAX_BFS,
@@ -37,9 +37,9 @@ _rows = {}
 
 def _time_ifecc(name, r):
     graph = graph_for(name)
-    start = time.perf_counter()
+    watch = Stopwatch()
     result = compute_eccentricities(graph, num_references=r)
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     np.testing.assert_array_equal(result.eccentricities, truth_for(name))
     return elapsed, result.num_bfs
 
@@ -91,9 +91,9 @@ def test_pllecc(benchmark, name):
 def test_boundecc(benchmark, name):
     def run():
         graph = graph_for(name)
-        start = time.perf_counter()
+        watch = Stopwatch()
         result = boundecc_eccentricities(graph, max_bfs=BOUNDECC_MAX_BFS)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         if result.exact:
             np.testing.assert_array_equal(
                 result.eccentricities, truth_for(name)

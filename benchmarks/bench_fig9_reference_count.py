@@ -7,12 +7,12 @@ hair (e.g. SKIT), but never by more than ~1.1x.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
 
 from repro.core.ifecc import compute_eccentricities
+from repro.obs.trace import Stopwatch
 
 from bench_common import (
     geometric_mean,
@@ -31,9 +31,9 @@ _times = {}
 def test_ifecc_r(benchmark, name, r):
     def run():
         graph = graph_for(name)
-        start = time.perf_counter()
+        watch = Stopwatch()
         result = compute_eccentricities(graph, num_references=r)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         np.testing.assert_array_equal(
             result.eccentricities, truth_for(name)
         )

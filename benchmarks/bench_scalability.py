@@ -8,7 +8,6 @@ growth of IFECC's wall time and BFS count.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 import pytest
@@ -20,6 +19,7 @@ from repro.graph.generators import (
     attach_deep_trap,
     copying_model,
 )
+from repro.obs.trace import Stopwatch
 
 from bench_common import record
 
@@ -41,9 +41,9 @@ def _make_graph(n: int):
 def test_scaling(benchmark, n):
     def run():
         graph = _make_graph(n)
-        start = time.perf_counter()
+        watch = Stopwatch()
         result = compute_eccentricities(graph)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         return graph.num_vertices, graph.num_edges, elapsed, result.num_bfs
 
     _rows[n] = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.msbfs import multi_source_distances
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 
 __all__ = [
     "degree_centrality",
@@ -50,7 +50,7 @@ def degree_centrality(graph: Graph) -> np.ndarray:
 
 def closeness_centrality(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Classic closeness: ``(reachable - 1) / sum of distances``, scaled
     by the reachable fraction (the standard disconnected-graph
@@ -76,7 +76,7 @@ def closeness_centrality(
 def betweenness_centrality(
     graph: Graph,
     normalized: bool = True,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Exact betweenness centrality (Brandes 2001, unweighted).
 

@@ -7,7 +7,6 @@ and returns structured rows — the library-level engine behind the CLI's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -20,6 +19,7 @@ from repro.core.ifecc import compute_eccentricities
 from repro.core.result import EccentricityResult
 from repro.errors import BudgetExhaustedError, InvalidParameterError
 from repro.graph.csr import Graph
+from repro.obs.trace import Stopwatch
 
 __all__ = ["AlgorithmRow", "ComparisonTable", "compare_algorithms"]
 
@@ -132,13 +132,13 @@ def compare_algorithms(
     else:
         add("BoundECC", None, None, None)
     try:
-        start = time.perf_counter()
+        watch = Stopwatch()
         report = pllecc_eccentricities(
             graph, num_references=16, time_budget=pllecc_budget
         )
         add(
             "PLLECC",
-            time.perf_counter() - start,
+            watch.elapsed(),
             report.result.num_bfs,
             report.result,
         )

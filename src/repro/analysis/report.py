@@ -10,7 +10,6 @@ would a SNAP user want printed" surface the paper's case study motivates
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -29,6 +28,7 @@ from repro.core.stratify import stratify
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.paths import diameter_path
+from repro.obs.trace import Stopwatch
 
 __all__ = ["GraphReport", "analyze"]
 
@@ -103,7 +103,7 @@ def analyze(
     """
     if graph.num_vertices == 0:
         raise InvalidParameterError("graph must have at least one vertex")
-    start = time.perf_counter()
+    watch = Stopwatch()
     result = compute_eccentricities(graph)
     ecc = result.eccentricities
     dist = distribution_from_eccentricities(ecc)
@@ -120,7 +120,7 @@ def analyze(
         order = np.argsort(-closeness, kind="stable")[:top]
         top_close = [(int(v), float(closeness[v])) for v in order]
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return GraphReport(
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,

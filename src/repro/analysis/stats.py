@@ -18,7 +18,7 @@ from repro.core.ffo import compute_ffo
 from repro.core.stratify import stratify
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 
 __all__ = [
     "RepetitionPoint",
@@ -47,7 +47,7 @@ def repetition_ratio(
     graph: Graph,
     num: int,
     num_references: int = 16,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> RepetitionPoint:
     """Overlap of the first ``num`` FFO nodes across ``num_references``
     highest-degree references (one Figure 5 data point)."""

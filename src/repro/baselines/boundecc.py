@@ -21,7 +21,7 @@ from typing import Optional
 from repro.core.framework import AlternatingBoundSelector, BFSFramework
 from repro.core.result import EccentricityResult
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 
 __all__ = ["boundecc_eccentricities"]
 
@@ -29,7 +29,7 @@ __all__ = ["boundecc_eccentricities"]
 def boundecc_eccentricities(
     graph: Graph,
     max_bfs: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact ED with the Takes & Kosters bound-and-select loop.
 

@@ -14,7 +14,7 @@ from typing import Optional
 from repro.core.framework import BFSFramework, LargestGapSelector
 from repro.core.result import EccentricityResult
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 
 __all__ = ["opex_eccentricities"]
 
@@ -22,7 +22,7 @@ __all__ = ["opex_eccentricities"]
 def opex_eccentricities(
     graph: Graph,
     max_bfs: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact ED with Henderson's largest-gap selection rule."""
     framework = BFSFramework(graph, LargestGapSelector(), counter=counter)

@@ -20,7 +20,6 @@ instability Figure 11 demonstrates.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
@@ -30,10 +29,11 @@ from repro.core.result import EccentricityResult
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.traversal import (
-    BFSCounter,
+    TraversalCounter,
     eccentricity_and_distances,
     multi_source_bfs,
 )
+from repro.obs.trace import Stopwatch
 
 __all__ = ["kbfs_eccentricities"]
 
@@ -42,7 +42,7 @@ def kbfs_eccentricities(
     graph: Graph,
     k: int,
     seed: int = 0,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Approximate the ED with ``k`` sampled BFS runs (kBFS).
 
@@ -64,9 +64,9 @@ def kbfs_eccentricities(
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
+    counter = counter if counter is not None else TraversalCounter()
     rng = np.random.default_rng(seed)
-    start = time.perf_counter()
+    watch = Stopwatch()
     bounds = BoundState(n)
 
     k = min(k, n)
@@ -101,7 +101,7 @@ def kbfs_eccentricities(
             bounds.apply_lemma31(dist_s, ecc_s)
             sources.append(int(s))
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return EccentricityResult(
         eccentricities=bounds.lower.copy(),
         lower=bounds.lower.copy(),

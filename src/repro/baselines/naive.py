@@ -6,33 +6,33 @@ measured against, and the simplest possible correctness oracle.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
 from repro.core.result import EccentricityResult
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+from repro.graph.traversal import TraversalCounter, eccentricity_and_distances
+from repro.obs.trace import Stopwatch
 
 __all__ = ["naive_eccentricities"]
 
 
 def naive_eccentricities(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact ED with one BFS per vertex (eccentricity within components).
 
     :dtype ecc: int32
     """
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    counter = counter if counter is not None else TraversalCounter()
+    watch = Stopwatch()
     n = graph.num_vertices
     ecc = np.zeros(n, dtype=np.int32)
     for v in range(n):
         ecc[v], _dist = eccentricity_and_distances(graph, v, counter=counter)
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return EccentricityResult(
         eccentricities=ecc,
         lower=ecc.copy(),

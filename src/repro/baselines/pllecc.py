@@ -18,7 +18,6 @@ instruments to obtain probe numbers.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,7 +27,8 @@ from repro.core.ffo import compute_ffo
 from repro.core.result import EccentricityResult
 from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import UNREACHED, BFSCounter
+from repro.graph.traversal import UNREACHED, TraversalCounter
+from repro.obs.trace import Stopwatch
 from repro.pll.index import PLLIndex, build_pll_index
 
 __all__ = ["PLLECCReport", "pllecc_eccentricities"]
@@ -71,7 +71,7 @@ def pllecc_eccentricities(
     num_references: int = DEFAULT_REFERENCES,
     index: Optional[PLLIndex] = None,
     ordering: str = "degree",
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     time_budget: Optional[float] = None,
 ) -> PLLECCReport:
     """Exact ED with PLLECC (Algorithm 1).
@@ -92,23 +92,23 @@ def pllecc_eccentricities(
     """
     if num_references < 1:
         raise InvalidParameterError("num_references must be >= 1")
-    counter = counter if counter is not None else BFSCounter()
+    counter = counter if counter is not None else TraversalCounter()
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
 
     # ------------------------------------------------------------- PLL
-    pll_start = time.perf_counter()
+    pll_watch = Stopwatch()
     if index is None:
         index = build_pll_index(
             graph, ordering=ordering, time_budget=time_budget
         )
-        pll_seconds = time.perf_counter() - pll_start
+        pll_seconds = pll_watch.elapsed()
     else:
         pll_seconds = 0.0
 
     # ------------------------------------------------------------- ECC
-    ecc_start = time.perf_counter()
+    ecc_watch = Stopwatch()
     references = graph.top_degree_vertices(min(num_references, n))
     ffos = []
     for z in references:
@@ -149,7 +149,7 @@ def pllecc_eccentricities(
                     break
         lower[v] = lo
         upper[v] = hi
-    ecc_seconds = time.perf_counter() - ecc_start
+    ecc_seconds = ecc_watch.elapsed()
 
     exact = bool(np.all(lower == upper))
     ecc = lower.astype(np.int32)

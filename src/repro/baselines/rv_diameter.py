@@ -20,7 +20,6 @@ roster.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -29,10 +28,11 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.traversal import (
-    BFSCounter,
+    TraversalCounter,
     eccentricity_and_distances,
     multi_source_bfs,
 )
+from repro.obs.trace import Stopwatch
 
 __all__ = ["RVDiameterEstimate", "rv_estimate_diameter"]
 
@@ -64,7 +64,7 @@ def rv_estimate_diameter(
     graph: Graph,
     sample_size: Optional[int] = None,
     seed: int = 0,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> RVDiameterEstimate:
     """Estimate the diameter with the Roditty–Williams scheme.
 
@@ -79,9 +79,9 @@ def rv_estimate_diameter(
     if sample_size < 1:
         raise InvalidParameterError("sample_size must be >= 1")
     sample_size = min(sample_size, n)
-    counter = counter if counter is not None else BFSCounter()
+    counter = counter if counter is not None else TraversalCounter()
     rng = np.random.default_rng(seed)
-    start = time.perf_counter()
+    watch = Stopwatch()
 
     sample = rng.choice(n, size=sample_size, replace=False)
     best = 0
@@ -108,5 +108,5 @@ def rv_estimate_diameter(
         sample_size=sample_size,
         hitting_vertex=w,
         num_bfs=counter.bfs_runs,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=watch.elapsed(),
     )

@@ -13,7 +13,6 @@ accuracy metric ``est_diameter / true_diameter * 100``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,7 +20,8 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+from repro.graph.traversal import TraversalCounter, eccentricity_and_distances
+from repro.obs.trace import Stopwatch
 
 __all__ = ["SnapDiameterEstimate", "snap_estimate_diameter"]
 
@@ -59,7 +59,7 @@ def snap_estimate_diameter(
     graph: Graph,
     sample_size: int = 1000,
     seed: int = 0,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> SnapDiameterEstimate:
     """Estimate the diameter from ``sample_size`` random BFS runs."""
     if sample_size < 1:
@@ -67,18 +67,18 @@ def snap_estimate_diameter(
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
+    counter = counter if counter is not None else TraversalCounter()
     rng = np.random.default_rng(seed)
     sample_size = min(sample_size, n)
     sources = rng.choice(n, size=sample_size, replace=False)
-    start = time.perf_counter()
+    watch = Stopwatch()
     best = 0
     for s in sources:
         ecc_s, _dist = eccentricity_and_distances(
             graph, int(s), counter=counter
         )
         best = max(best, ecc_s)
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return SnapDiameterEstimate(
         diameter=best,
         sample_size=sample_size,

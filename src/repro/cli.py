@@ -25,13 +25,17 @@ Subcommands
 ``report``
     Full analysis report: ED, center/periphery, a diameter path, F1/F2,
     centrality summaries.
+``trace``
+    Inspect saved run records: ``repro-ecc trace summarize PATH`` prints
+    the convergence table of a record written via ``--trace PATH`` on
+    ``ecc``/``approx``/``diameter``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -60,9 +64,48 @@ def _load_graph(source: str, use_lcc: bool) -> Graph:
     return graph
 
 
+def _run_traced(
+    args: argparse.Namespace,
+    graph: Graph,
+    config: Dict[str, Any],
+    run: "Callable[[], Any]",
+) -> Any:
+    """Run ``run()`` — under a capturing tracer when ``--trace`` was given.
+
+    With ``--trace PATH`` the solver executes inside a
+    :func:`repro.obs.trace.tracing` block feeding a memory sink, and the
+    finished run is packaged as a versioned
+    :class:`repro.obs.record.RunRecord` written to ``PATH``.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return run()
+    from repro.obs.record import RunRecord
+    from repro.obs.trace import MemorySink, tracing
+
+    sink = MemorySink()
+    with tracing(sink) as tracer:
+        result = run()
+    record = RunRecord.from_run(
+        result,
+        graph,
+        sink.events,
+        config=config,
+        metrics=tracer.metrics.snapshot(),
+    )
+    record.write_jsonl(trace_path)
+    print(f"run record written to {trace_path}")
+    return result
+
+
 def _cmd_ecc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.lcc)
-    result = compute_eccentricities(graph, num_references=args.references)
+    result = _run_traced(
+        args,
+        graph,
+        {"command": "ecc", "references": args.references},
+        lambda: compute_eccentricities(graph, num_references=args.references),
+    )
     dist = distribution_from_eccentricities(result.eccentricities)
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
     print(
@@ -80,8 +123,13 @@ def _cmd_ecc(args: argparse.Namespace) -> int:
 
 def _cmd_approx(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.lcc)
-    result = approximate_eccentricities(
-        graph, k=args.k, estimator=args.estimator
+    result = _run_traced(
+        args,
+        graph,
+        {"command": "approx", "k": args.k, "estimator": args.estimator},
+        lambda: approximate_eccentricities(
+            graph, k=args.k, estimator=args.estimator
+        ),
     )
     resolved = int(np.count_nonzero(result.lower == result.upper))
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
@@ -102,7 +150,12 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.lcc)
-    result = compute_eccentricities(graph)
+    result = _run_traced(
+        args,
+        graph,
+        {"command": "diameter"},
+        lambda: compute_eccentricities(graph),
+    )
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
     print(
         f"radius={result.radius} diameter={result.diameter} "
@@ -182,6 +235,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.record import RunRecord
+
+    record = RunRecord.read_jsonl(args.record)
+    print(record.summarize())
+    return 0
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     print(
         f"{'Name':<6} {'Dataset':<14} {'n':>12} {'m':>14} "
@@ -220,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="do not restrict file inputs to the largest component",
         )
 
+    def add_trace_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            help="write a versioned run record (JSON Lines) of the "
+            "computation; inspect it with `trace summarize PATH`",
+        )
+
     p_ecc = sub.add_parser("ecc", help="exact eccentricity distribution")
     add_graph_arg(p_ecc)
     p_ecc.add_argument(
@@ -227,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of reference nodes (paper default: 1)",
     )
     p_ecc.add_argument("-o", "--output", help="write eccentricities to file")
+    add_trace_arg(p_ecc)
     p_ecc.set_defaults(func=_cmd_ecc)
 
     p_approx = sub.add_parser("approx", help="anytime kIFECC estimate")
@@ -241,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         "Algorithm 3)",
     )
     p_approx.add_argument("-o", "--output", help="write estimates to file")
+    add_trace_arg(p_approx)
     p_approx.set_defaults(func=_cmd_approx)
 
     p_dia = sub.add_parser("diameter", help="exact radius and diameter")
@@ -250,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run SNAP's sampling estimator with this sample size",
     )
     p_dia.add_argument("--seed", type=int, default=0)
+    add_trace_arg(p_dia)
     p_dia.set_defaults(func=_cmd_diameter)
 
     p_stats = sub.add_parser("stats", help="F1/F2 stratification statistics")
@@ -283,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("dataset", help="dataset name (see `table3`)")
     p_gen.add_argument("output", help="output edge-list path")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_trace = sub.add_parser("trace", help="inspect saved run records")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize",
+        help="print the convergence table encoded in a run record",
+    )
+    p_sum.add_argument("record", help="run-record JSONL path (from --trace)")
+    p_sum.set_defaults(func=_cmd_trace_summarize)
 
     p_rep = sub.add_parser("report", help="full graph analysis report")
     add_graph_arg(p_rep)

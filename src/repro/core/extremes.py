@@ -39,7 +39,8 @@ from repro.core.ffo import farthest_first_order
 from repro.core.oracles import BFSOracle, DistanceOracle
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
+from repro.obs.trace import Stopwatch
 from repro.sentinels import unreached_mask
 
 __all__ = ["ExtremesResult", "radius_and_diameter", "oracle_radius_and_diameter"]
@@ -89,7 +90,7 @@ def _certify_state(
 
 def oracle_radius_and_diameter(
     oracle: DistanceOracle,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> ExtremesResult:
     """Certified radius and diameter without the full ED, any metric.
 
@@ -108,8 +109,8 @@ def oracle_radius_and_diameter(
     n = oracle.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    counter = counter if counter is not None else TraversalCounter()
+    watch = Stopwatch()
 
     reference = int(oracle.select_references("degree", 1, 0)[0])
     ecc_z, dist_from, dist_into = oracle.source_probe(
@@ -175,7 +176,7 @@ def oracle_radius_and_diameter(
     dia = bounds.lower.max().item()
     rad_vertex = min(exact_ecc, key=exact_ecc.get)  # type: ignore[arg-type]
     dia_vertex = int(np.argmax(bounds.lower))
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return ExtremesResult(
         radius=exact_ecc[rad_vertex],
         diameter=dia,
@@ -188,7 +189,7 @@ def oracle_radius_and_diameter(
 
 def radius_and_diameter(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> ExtremesResult:
     """Certified radius and diameter of an unweighted connected graph.
 

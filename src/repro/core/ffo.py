@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.graph.csr import Graph
 from repro.graph.engine import BFSEngine, engine_for
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 from repro.sentinels import unreached_mask
 
 __all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
@@ -102,7 +102,7 @@ def farthest_first_order(
 def compute_ffo(
     graph: Graph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     engine: Optional[BFSEngine] = None,
 ) -> FarthestFirstOrder:
     """Run one BFS from ``source`` and return its FFO (Algorithm 2, line 4).

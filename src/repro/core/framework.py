@@ -32,7 +32,6 @@ the tail cap.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Protocol
 
 import numpy as np
@@ -42,7 +41,8 @@ from repro.core.ffo import compute_ffo
 from repro.core.result import EccentricityResult
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter, eccentricity_and_distances
+from repro.graph.traversal import TraversalCounter, eccentricity_and_distances
+from repro.obs.trace import Stopwatch
 
 __all__ = [
     "SourceSelector",
@@ -174,13 +174,13 @@ class BFSFramework:
         self,
         graph: Graph,
         selector: SourceSelector,
-        counter: Optional[BFSCounter] = None,
+        counter: Optional[TraversalCounter] = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise InvalidParameterError("graph must have at least one vertex")
         self.graph = graph
         self.selector = selector
-        self.counter = counter if counter is not None else BFSCounter()
+        self.counter = counter if counter is not None else TraversalCounter()
         self.bounds = BoundState(graph.num_vertices)
 
     def run(
@@ -189,7 +189,7 @@ class BFSFramework:
         algorithm: str = "BFS-framework",
     ) -> EccentricityResult:
         """Iterate select-BFS-update until resolved or out of budget."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         exact = True
         while not self.bounds.all_resolved():
             if max_bfs is not None and self.counter.bfs_runs >= max_bfs:
@@ -204,7 +204,7 @@ class BFSFramework:
             )
             self.bounds.set_exact(source, ecc_s)
             self.bounds.apply_lemma31(dist_s, ecc_s)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.elapsed()
         ecc = self.bounds.lower.copy()
         return EccentricityResult(
             eccentricities=ecc,

@@ -31,7 +31,6 @@ Space is ``O(m + n)`` (Theorem 4.5): the graph, the bound arrays, and the
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
 import numpy as np
@@ -42,7 +41,8 @@ from repro.core.solver import EccentricitySolver
 from repro.errors import InvalidParameterError
 from repro.graph.components import split_components
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
+from repro.obs.trace import Stopwatch
 
 __all__ = ["IFECC", "compute_eccentricities", "eccentricities_per_component"]
 
@@ -75,7 +75,7 @@ class IFECC(EccentricitySolver):
         vectors of the reference nodes themselves are always reused;
         they are stored anyway.
     counter:
-        Optional shared :class:`BFSCounter` for cost accounting.
+        Optional shared :class:`TraversalCounter` for cost accounting.
     """
 
     def __init__(
@@ -85,7 +85,7 @@ class IFECC(EccentricitySolver):
         strategy: str = "degree",
         seed: int = 0,
         memoize_distances: bool = False,
-        counter: Optional[BFSCounter] = None,
+        counter: Optional[TraversalCounter] = None,
     ) -> None:
         if num_references < 1:
             raise InvalidParameterError("num_references must be >= 1")
@@ -111,7 +111,7 @@ def compute_eccentricities(
     num_references: int = 1,
     strategy: str = "degree",
     seed: int = 0,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Compute the exact eccentricity distribution with IFECC.
 
@@ -149,8 +149,8 @@ def eccentricities_per_component(
     """
     n = graph.num_vertices
     ecc = np.zeros(n, dtype=np.int32)
-    counter = BFSCounter()
-    start = time.perf_counter()
+    counter = TraversalCounter()
+    watch = Stopwatch()
     num_refs_used: List[int] = []
     for subgraph, original_ids in split_components(graph):
         if subgraph.num_vertices == 1:
@@ -167,7 +167,7 @@ def eccentricities_per_component(
         num_refs_used.extend(
             int(original_ids[z]) for z in result.reference_nodes
         )
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return EccentricityResult(
         eccentricities=ecc,
         lower=ecc.copy(),

@@ -12,7 +12,6 @@ stability advantage over kBFS that Figure 11 demonstrates.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -21,7 +20,8 @@ from repro.core.ifecc import IFECC
 from repro.core.result import EccentricityResult
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
+from repro.obs.trace import Stopwatch
 
 __all__ = ["approximate_eccentricities", "kifecc_sweep"]
 
@@ -54,7 +54,7 @@ def approximate_eccentricities(
     strategy: str = "degree",
     seed: int = 0,
     estimator: str = "lower",
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Approximate the ED with ``k`` FFO-front BFS runs (Algorithm 3).
 
@@ -129,7 +129,7 @@ def kifecc_sweep(
     )
     steps = engine.steps()
     out = []
-    start = time.perf_counter()
+    watch = Stopwatch()
     done = False
     for k in sizes:
         target = k + 1  # + the reference node's own BFS
@@ -145,7 +145,7 @@ def kifecc_sweep(
             exact=engine.bounds.all_resolved(),
             algorithm=f"kIFECC(k={k})",
             num_bfs=engine.counter.bfs_runs,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=watch.elapsed(),
             reference_nodes=engine.references.copy(),
             counter=engine.counter,
         )

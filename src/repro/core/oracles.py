@@ -73,6 +73,10 @@ class DistanceOracle(Protocol):
         skip redundant reverse traversals and connectivity checks.
     metric_name:
         Tag prefix for :class:`repro.core.result.EccentricityResult`.
+    trace_kind:
+        Traversal-kind tag carried on ``solver.probe`` spans (``"bfs"``,
+        ``"dijkstra"``, ``"bfs-directed"``) so trace consumers can tell
+        what kind of traversal each span timed.
     """
 
     num_vertices: int
@@ -80,6 +84,7 @@ class DistanceOracle(Protocol):
     tolerance: float
     symmetric: bool
     metric_name: str
+    trace_kind: str
 
     def select_references(
         self, strategy: str, count: int, seed: int
@@ -138,6 +143,7 @@ class BFSOracle:
     tolerance = 0.0
     symmetric = True
     metric_name = "IFECC"
+    trace_kind = "bfs"
 
     def __init__(
         self, graph: Graph, engine: Optional[BFSEngine] = None

@@ -23,7 +23,7 @@ from repro.core.bounds import INFINITE_ECC
 from repro.core.ffo import FarthestFirstOrder, compute_ffo
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import BFSCounter, bfs_distances
+from repro.graph.traversal import TraversalCounter, bfs_distances
 
 __all__ = ["ProbeProfile", "probe_numbers"]
 
@@ -60,7 +60,7 @@ class ProbeProfile:
 def probe_numbers(
     graph: Graph,
     references: Sequence[int],
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> List[ProbeProfile]:
     """Replay PLLECC's probing and count probes per FFO position.
 

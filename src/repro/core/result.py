@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.counters import BFSCounter
+from repro.counters import TraversalCounter
 
 __all__ = ["EccentricityResult", "ProgressSnapshot"]
 
@@ -83,7 +83,7 @@ class EccentricityResult:
     reference_nodes: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int32)
     )
-    counter: Optional[BFSCounter] = None
+    counter: Optional[TraversalCounter] = None
 
     @property
     def num_vertices(self) -> int:

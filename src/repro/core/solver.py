@@ -38,9 +38,8 @@ and the ``r`` reference distance vectors.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +49,7 @@ from repro.core.oracles import DistanceOracle
 from repro.core.result import EccentricityResult, ProgressSnapshot
 from repro.counters import TraversalCounter
 from repro.errors import InvalidParameterError
+from repro.obs.trace import Stopwatch, Tracer, get_tracer
 from repro.sentinels import unreached_mask
 
 __all__ = ["EccentricitySolver", "Territory"]
@@ -93,6 +93,11 @@ class EccentricitySolver:
         space/time trade-off; reference vectors are always retained).
     counter:
         Optional shared :class:`repro.counters.TraversalCounter`.
+    tracer:
+        Optional explicit :class:`repro.obs.trace.Tracer`; by default the
+        process-wide active tracer (:func:`repro.obs.trace.get_tracer`)
+        is consulted at :meth:`steps` time, so ``with tracing(sink):``
+        around a run captures its spans without touching this signature.
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class EccentricitySolver:
         seed: int = 0,
         memoize_distances: bool = False,
         counter: Optional[TraversalCounter] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_references < 1:
             raise InvalidParameterError("num_references must be >= 1")
@@ -114,6 +120,7 @@ class EccentricitySolver:
         self.seed = seed
         self.memoize_distances = memoize_distances
         self.counter = counter if counter is not None else TraversalCounter()
+        self._tracer = tracer
         self.bounds = BoundState(
             oracle.num_vertices,
             dtype=oracle.dtype,
@@ -133,10 +140,20 @@ class EccentricitySolver:
     # ------------------------------------------------------------------
     def _initialise(self) -> Iterator[ProgressSnapshot]:
         oracle = self.oracle
+        tracer = self._active_tracer()
         ffos: List[FarthestFirstOrder] = []
         reverse: List[np.ndarray] = []
         for z in self.references:
             z = int(z)
+            span = tracer.span(
+                "solver.probe",
+                probe="reference",
+                source=z,
+                territory=z,
+                ffo_rank=None,
+                metric=oracle.metric_name,
+                oracle=getattr(oracle, "trace_kind", oracle.metric_name),
+            )
             ecc_z, dist_from, dist_into = oracle.source_probe(
                 z, counter=self.counter
             )
@@ -150,7 +167,10 @@ class EccentricitySolver:
             reverse.append(dist_into)
             self.bounds.set_exact(z, ffo.eccentricity)
             self._known[z] = (ffo.eccentricity, dist_into)
-            yield self._snapshot(z)
+            snap = self._snapshot(z)
+            if tracer.enabled:
+                self._finish_probe_span(tracer, span, ffo.eccentricity, snap)
+            yield snap
 
         # Closest reference per vertex (by forward distance); ties go to
         # the earlier entry of Z (the higher-degree reference),
@@ -184,6 +204,9 @@ class EccentricitySolver:
                     dist_into=dist_into_z,
                 )
             )
+            tracer.event(
+                "solver.territory", reference=z, size=int(len(members))
+            )
 
     # ------------------------------------------------------------------
     # Phase 2: FFO-ordered probe sweep (Algorithm 2, 10-18)
@@ -204,6 +227,7 @@ class EccentricitySolver:
         self, territory: Territory
     ) -> Iterator[ProgressSnapshot]:
         bounds = self.bounds
+        tracer = self._active_tracer()
         ffo = territory.ffo
         dist_into_z = territory.dist_into
         unresolved = bounds.unresolved_subset(territory.members)
@@ -222,7 +246,29 @@ class EccentricitySolver:
                 # traversal would.
                 ecc_s, dist_s = self._known[source]
                 fresh_probe = False
+                span = None
+                tracer.event(
+                    "solver.replay",
+                    source=source,
+                    territory=territory.reference,
+                    ffo_rank=rank,
+                )
             else:
+                span = (
+                    tracer.span(
+                        "solver.probe",
+                        probe="sweep",
+                        source=source,
+                        territory=territory.reference,
+                        ffo_rank=rank,
+                        metric=self.oracle.metric_name,
+                        oracle=getattr(
+                            self.oracle, "trace_kind", self.oracle.metric_name
+                        ),
+                    )
+                    if tracer.enabled
+                    else None
+                )
                 # The vector may alias the oracle's pooled workspace; it
                 # is consumed before the next traversal and only the
                 # memoised copy outlives this iteration.
@@ -245,10 +291,46 @@ class EccentricitySolver:
                 dist_into_z, tail_radius, subset=unresolved
             )
             if fresh_probe:
-                yield self._snapshot(source)
+                snap = self._snapshot(source)
+                if span is not None:
+                    self._finish_probe_span(tracer, span, ecc_s, snap)
+                yield snap
             unresolved = bounds.unresolved_subset(unresolved)
             if len(unresolved) == 0:
                 break
+
+    def _active_tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _finish_probe_span(
+        self,
+        tracer: Tracer,
+        span: Any,
+        ecc_value: Optional[float],
+        snap: ProgressSnapshot,
+    ) -> None:
+        """Attach post-traversal facts to a probe span and close it.
+
+        Only called when tracing is enabled; the gauge mirrors the
+        event stream so metric consumers see convergence without
+        replaying events.
+        """
+        remaining = snap.num_vertices - snap.resolved
+        if ecc_value is None:
+            ecc_out: Optional[float] = None
+        else:
+            ecc_out = (
+                int(ecc_value)
+                if float(ecc_value).is_integer()
+                else float(ecc_value)
+            )
+        span.set(
+            ecc=ecc_out,
+            traversals=snap.bfs_runs,
+            resolved=snap.resolved,
+            remaining=remaining,
+        ).finish()
+        tracer.metrics.gauge("solver.unresolved").set(remaining)
 
     def _snapshot(self, source: int) -> ProgressSnapshot:
         return ProgressSnapshot(
@@ -266,10 +348,21 @@ class EccentricitySolver:
 
     def run(self, algorithm: Optional[str] = None) -> EccentricityResult:
         """Run to completion and return the exact ED (Algorithm 2)."""
-        start = time.perf_counter()
-        for _ in self.steps():
-            pass
-        elapsed = time.perf_counter() - start
+        tracer = self._active_tracer()
+        watch = Stopwatch()
+        with tracer.span(
+            "solver.run",
+            algorithm=(
+                algorithm if algorithm is not None else self._algorithm_tag()
+            ),
+            metric=self.oracle.metric_name,
+        ) as run_span:
+            for _ in self.steps():
+                pass
+            run_span.set(traversals=self.counter.bfs_runs)
+        elapsed = watch.elapsed()
+        if tracer.enabled:
+            tracer.metrics.ingest_traversal_counter(self.counter)
         return EccentricityResult(
             eccentricities=self.bounds.eccentricities(),
             lower=self.bounds.lower.copy(),
@@ -292,15 +385,29 @@ class EccentricitySolver:
         contribution 5)."""
         if max_bfs < 0:
             raise InvalidParameterError("max_bfs must be non-negative")
-        start = time.perf_counter()
+        tracer = self._active_tracer()
+        watch = Stopwatch()
         exact = True
-        for snapshot in self.steps():
-            if snapshot.bfs_runs >= max_bfs:
-                exact = self.bounds.all_resolved()
-                break
-        else:
-            exact = True
-        elapsed = time.perf_counter() - start
+        with tracer.span(
+            "solver.run",
+            algorithm=(
+                algorithm
+                if algorithm is not None
+                else f"{self._algorithm_tag()}(budget={max_bfs})"
+            ),
+            metric=self.oracle.metric_name,
+            budget=max_bfs,
+        ) as run_span:
+            for snapshot in self.steps():
+                if snapshot.bfs_runs >= max_bfs:
+                    exact = self.bounds.all_resolved()
+                    break
+            else:
+                exact = True
+            run_span.set(traversals=self.counter.bfs_runs, exact=exact)
+        elapsed = watch.elapsed()
+        if tracer.enabled:
+            tracer.metrics.ingest_traversal_counter(self.counter)
         return EccentricityResult(
             eccentricities=self.bounds.lower.copy(),
             lower=self.bounds.lower.copy(),

@@ -24,7 +24,6 @@ suite), and provides the ``|F1|``/``|F2|`` statistics of Figure 12.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -35,10 +34,11 @@ from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.traversal import (
     UNREACHED,
-    BFSCounter,
+    TraversalCounter,
     bfs_distances,
     eccentricity_and_distances,
 )
+from repro.obs.trace import Stopwatch
 
 __all__ = [
     "Stratification",
@@ -103,7 +103,7 @@ class Stratification:
 def stratify(
     graph: Graph,
     reference: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Stratification:
     """Stratify ``graph`` around ``reference`` (default: highest degree).
 
@@ -129,7 +129,7 @@ def stratify(
 def exact_via_f1(
     graph: Graph,
     reference: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact ED by BFS from every node of ``F1`` (Theorem 5.5).
 
@@ -139,8 +139,8 @@ def exact_via_f1(
 
     :dtype ecc: int32
     """
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    counter = counter if counter is not None else TraversalCounter()
+    watch = Stopwatch()
     strat = stratify(graph, reference, counter=counter)
     n = graph.num_vertices
     ecc = np.zeros(n, dtype=np.int32)
@@ -159,7 +159,7 @@ def exact_via_f1(
     if len(f1) == 0:
         ecc[:] = strat.eccentricity
         ecc[strat.reference] = strat.eccentricity
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return EccentricityResult(
         eccentricities=ecc,
         lower=ecc.copy(),
@@ -176,7 +176,7 @@ def exact_via_f1(
 def approximate_via_f2(
     graph: Graph,
     reference: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Approximate ED by BFS from every node of ``F2`` (Theorem 5.6).
 
@@ -187,8 +187,8 @@ def approximate_via_f2(
     stay integral (rounding down never violates the lower ratio bound
     because the other max-term ``dist_max`` is integral).
     """
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    counter = counter if counter is not None else TraversalCounter()
+    watch = Stopwatch()
     strat = stratify(graph, reference, counter=counter)
     n = graph.num_vertices
     f2 = strat.f2
@@ -211,7 +211,7 @@ def approximate_via_f2(
     if len(f2) == 0:
         # ecc(z) = 0: isolated vertex graph.
         ecc[:] = 0
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return EccentricityResult(
         eccentricities=ecc,
         lower=np.where(in_f2, ecc, dist_max_f2.astype(np.int32)),

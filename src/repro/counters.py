@@ -17,8 +17,9 @@ still spell it that way.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = ["TraversalCounter", "BFSCounter"]
 
@@ -89,8 +90,18 @@ class TraversalCounter:
         self.history.extend(other.history)
 
 
-#: Deprecated alias — the meter predates the weighted/directed oracles,
-#: when every traversal really was a BFS.  New code should construct
-#: :class:`TraversalCounter`; the alias is kept so existing call sites,
-#: benchmarks, and pickled results keep working unchanged.
-BFSCounter = TraversalCounter
+# Deprecated alias — the meter predates the weighted/directed oracles,
+# when every traversal really was a BFS.  The module-level __getattr__
+# keeps ``repro.counters.BFSCounter`` importable for existing call
+# sites, benchmarks, and pickled results, but every access now emits a
+# DeprecationWarning; new code constructs :class:`TraversalCounter`.
+def __getattr__(name: str) -> Any:
+    if name == "BFSCounter":
+        warnings.warn(
+            "repro.counters.BFSCounter is a deprecated alias; "
+            "use repro.counters.TraversalCounter",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TraversalCounter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

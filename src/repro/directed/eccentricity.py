@@ -23,7 +23,6 @@ with the directed reverse-distance hook.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
@@ -39,7 +38,8 @@ from repro.directed.traversal import (
     forward_bfs,
 )
 from repro.errors import DisconnectedGraphError, InvalidParameterError
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
+from repro.obs.trace import Stopwatch
 from repro.sentinels import UNREACHED
 
 __all__ = [
@@ -53,7 +53,7 @@ __all__ = [
 
 def naive_directed_eccentricities(
     graph: DirectedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """One forward BFS per vertex — the directed oracle.
 
@@ -73,7 +73,7 @@ def naive_directed_eccentricities(
 
 def directed_eccentricities(
     graph: DirectedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact forward eccentricities with bound propagation.
 
@@ -86,8 +86,8 @@ def directed_eccentricities(
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
-    counter = counter if counter is not None else BFSCounter()
-    start = time.perf_counter()
+    counter = counter if counter is not None else TraversalCounter()
+    watch = Stopwatch()
 
     bounds = BoundState(n)
     pick_upper = True
@@ -113,7 +113,7 @@ def directed_eccentricities(
         bounds.apply_lemma31(bwd, ecc_s, dist_from_t=fwd)
         bounds.set_exact(source, ecc_s)
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     ecc = bounds.lower.astype(np.int32)
     return EccentricityResult(
         eccentricities=ecc,
@@ -129,7 +129,7 @@ def directed_eccentricities(
 
 def directed_solver(
     graph: DirectedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     memoize_distances: bool = False,
 ) -> EccentricitySolver:
     """An :class:`EccentricitySolver` over the directed BFS oracle.
@@ -148,7 +148,7 @@ def directed_solver(
 
 def directed_ifecc_eccentricities(
     graph: DirectedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> EccentricityResult:
     """Exact forward eccentricities with the IFECC scheme carried over
     to digraphs.
@@ -176,7 +176,7 @@ def directed_ifecc_eccentricities(
 
 def directed_radius_and_diameter(
     graph: DirectedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> ExtremesResult:
     """Certified directed radius and diameter with early termination.
 

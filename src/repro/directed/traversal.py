@@ -19,7 +19,7 @@ from repro.errors import (
     InvalidParameterError,
     InvalidVertexError,
 )
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 from repro.sentinels import UNREACHED
 from repro.directed.graph import DirectedGraph
 
@@ -36,7 +36,7 @@ def _bfs(
     indices: np.ndarray,
     n: int,
     source: int,
-    counter: Optional[BFSCounter],
+    counter: Optional[TraversalCounter],
     label: str,
 ) -> np.ndarray:
     """Level-synchronous BFS over one arc direction.
@@ -75,7 +75,7 @@ def _bfs(
 def forward_bfs(
     graph: DirectedGraph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Distances ``dist(source, v)`` along arc directions."""
     n = graph.num_vertices
@@ -88,7 +88,7 @@ def forward_bfs(
 def backward_bfs(
     graph: DirectedGraph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Distances ``dist(v, source)`` — i.e. along *reversed* arcs."""
     n = graph.num_vertices
@@ -130,6 +130,7 @@ class DirectedBFSOracle:
     tolerance = 0.0
     symmetric = False
     metric_name = "DirectedIFECC"
+    trace_kind = "bfs-directed"
 
     def __init__(self, graph: DirectedGraph) -> None:
         self.graph = graph

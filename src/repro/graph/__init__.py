@@ -18,7 +18,7 @@ from repro.graph.msbfs import msbfs_eccentricities, multi_source_distances
 from repro.graph.paths import bfs_parents, diameter_path, shortest_path
 from repro.graph.traversal import (
     UNREACHED,
-    BFSCounter,
+    TraversalCounter,
     bfs_distances,
     eccentricity,
     eccentricity_and_distances,
@@ -29,6 +29,7 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "BFSCounter",
+    "TraversalCounter",
     "BFSEngine",
     "BFSRunStats",
     "engine_for",
@@ -47,3 +48,13 @@ __all__ = [
     "largest_connected_component",
     "split_components",
 ]
+
+
+def __getattr__(name: str) -> object:
+    # Deprecated re-export (see repro.counters): accessing
+    # repro.graph.BFSCounter warns and resolves to TraversalCounter.
+    if name == "BFSCounter":
+        from repro import counters
+
+        return counters.BFSCounter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -43,7 +43,7 @@ territories, ``IFECC.run()`` output) are bit-identical to the seed
 kernel.  Per-level decisions and the edges inspected by bottom-up
 levels (which are never "scanned" in the top-down sense) are recorded
 in :class:`BFSRunStats` and surface through
-``BFSCounter.edges_inspected`` so cost accounting stays honest.
+``TraversalCounter.edges_inspected`` so cost accounting stays honest.
 
 Use :func:`engine_for` to obtain the per-graph cached engine; the cache
 is keyed weakly so dropping the last reference to a graph frees its
@@ -60,10 +60,11 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, InvalidVertexError
 from repro.graph.csr import Graph
+from repro.obs.trace import get_tracer
 from repro.sentinels import UNREACHED
 
 if TYPE_CHECKING:  # runtime import would be circular; only annotations need it
-    from repro.counters import TraversalCounter as BFSCounter
+    from repro.counters import TraversalCounter
 
 __all__ = [
     "ALPHA",
@@ -211,7 +212,7 @@ bfs_distances` wrapper) must copy.
         self,
         source: int,
         limit: Optional[int] = None,
-        counter: Optional["BFSCounter"] = None,
+        counter: Optional["TraversalCounter"] = None,
         mode: str = "hybrid",
     ) -> np.ndarray:
         """BFS distances from ``source`` into the pooled buffer.
@@ -298,6 +299,24 @@ bfs_distances` wrapper) must copy.
                 label=f"bfs:{source}",
                 inspected=stats.edges_inspected,
             )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One event per run, assembled from the already-collected
+            # stats — per-level emission would put sink calls on the hot
+            # path; this keeps the disabled cost at one branch per BFS.
+            tracer.event(
+                "bfs.run",
+                source=source,
+                mode=mode,
+                levels=stats.levels,
+                ecc=self.last_ecc,
+                visited=visited,
+                edges_scanned=stats.edges_scanned,
+                edges_inspected=stats.edges_inspected,
+                directions=list(stats.directions),
+                frontier_sizes=[int(f) for f in stats.frontier_sizes],
+            )
+            tracer.metrics.ingest_run_stats(stats)
         return dist
 
     def _top_down_level(
@@ -356,7 +375,7 @@ bfs_distances` wrapper) must copy.
     def run_multi(
         self,
         sources: Sequence[int],
-        counter: Optional["BFSCounter"] = None,
+        counter: Optional["TraversalCounter"] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Nearest-source distances and winning source per vertex.
 
@@ -434,6 +453,14 @@ bfs_distances` wrapper) must copy.
             frontier = uniq
         if counter is not None:
             counter.record(edges, int(np.count_nonzero(dist != UNREACHED)))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "bfs.run_multi",
+                num_sources=int(len(src)),
+                levels=level,
+                edges_scanned=edges,
+            )
         return dist, owner
 
 

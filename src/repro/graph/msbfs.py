@@ -37,7 +37,7 @@ import numpy as np
 from repro.errors import InvalidVertexError
 from repro.graph.csr import Graph
 from repro.graph.engine import gather_csr_arcs
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 
 __all__ = ["multi_source_distances", "msbfs_eccentricities"]
 
@@ -83,7 +83,7 @@ def _workspace_for(graph: Graph) -> _LaneWorkspace:
 def _batch_distances(
     graph: Graph,
     sources: np.ndarray,
-    counter: Optional[BFSCounter],
+    counter: Optional[TraversalCounter],
     work: _LaneWorkspace,
 ) -> np.ndarray:
     """Distances for up to 64 sources in one bit-parallel sweep.
@@ -144,7 +144,7 @@ def _batch_distances(
 def multi_source_distances(
     graph: Graph,
     sources: Sequence[int],
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Full distance vectors for many sources via MS-BFS.
 
@@ -171,7 +171,7 @@ def multi_source_distances(
 
 def msbfs_eccentricities(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """The naive exact ED computed with MS-BFS batches.
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import InvalidVertexError
 from repro.graph.csr import Graph
-from repro.graph.traversal import UNREACHED, BFSCounter, _expand_frontier
+from repro.graph.traversal import UNREACHED, TraversalCounter, _expand_frontier
 
 __all__ = ["bfs_parents", "shortest_path", "diameter_path"]
 
@@ -23,7 +23,7 @@ __all__ = ["bfs_parents", "shortest_path", "diameter_path"]
 def bfs_parents(
     graph: Graph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Distances and BFS-tree parents from ``source``.
 
@@ -74,7 +74,7 @@ def shortest_path(
     graph: Graph,
     source: int,
     target: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Optional[List[int]]:
     """One shortest path from ``source`` to ``target`` as a vertex list.
 
@@ -93,7 +93,7 @@ def shortest_path(
 
 def diameter_path(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> List[int]:
     """A concrete path realising the graph's diameter.
 

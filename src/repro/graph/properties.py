@@ -20,7 +20,7 @@ from repro.graph.components import connected_components
 from repro.graph.csr import Graph
 from repro.graph.traversal import (
     UNREACHED,
-    BFSCounter,
+    TraversalCounter,
     bfs_distances,
     eccentricity_and_distances,
 )
@@ -56,7 +56,7 @@ class GraphSummary:
 
 def exact_eccentricities(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     require_connected: bool = True,
 ) -> np.ndarray:
     """Exact eccentricity of every vertex by |V| BFS runs (the oracle).

@@ -20,7 +20,7 @@ The central entry points are:
     distance to the *nearest* of a set of sources, plus which source —
     used to assign each vertex to its closest reference node
     (Algorithm 2, line 6).
-:class:`BFSCounter`
+:class:`TraversalCounter`
     a cost meter shared by the benchmark harness; algorithms report their
     work in "number of BFS runs", the cost unit the paper uses when
     comparing approximate algorithms (Section 7.3).
@@ -32,7 +32,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.counters import BFSCounter, TraversalCounter
+from repro.counters import TraversalCounter
 from repro.graph.csr import Graph
 from repro.graph.engine import UNREACHED, engine_for, gather_csr_arcs
 
@@ -49,6 +49,18 @@ __all__ = [
 ]
 
 
+def __getattr__(name: str) -> object:
+    # Deprecated re-export: the cost meter moved to repro.counters and
+    # was renamed TraversalCounter; forwarding through the alias keeps
+    # `from repro.graph.traversal import BFSCounter` working while the
+    # DeprecationWarning (emitted by repro.counters) flags the call site.
+    if name == "BFSCounter":
+        from repro import counters
+
+        return counters.BFSCounter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def _expand_frontier(graph: Graph, frontier: np.ndarray) -> np.ndarray:
     """Concatenated neighbor ids of all frontier vertices (with duplicates)."""
     counts = graph.indptr[frontier + 1] - graph.indptr[frontier]
@@ -61,7 +73,7 @@ def _expand_frontier(graph: Graph, frontier: np.ndarray) -> np.ndarray:
 def bfs_distances(
     graph: Graph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Distances from ``source`` to all vertices.
 
@@ -75,7 +87,7 @@ def bfs_distances_bounded(
     graph: Graph,
     source: int,
     limit: Optional[int] = None,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Distances from ``source``, optionally truncated at depth ``limit``.
 
@@ -92,7 +104,7 @@ def bfs_distances_bounded(
 def eccentricity(
     graph: Graph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> int:
     """Eccentricity of ``source`` within its connected component."""
     engine = engine_for(graph)
@@ -103,7 +115,7 @@ def eccentricity(
 def eccentricity_and_distances(
     graph: Graph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Tuple[int, np.ndarray]:
     """Eccentricity of ``source`` together with its distance vector.
 
@@ -118,7 +130,7 @@ def eccentricity_and_distances(
 def multi_source_bfs(
     graph: Graph,
     sources: Sequence[int],
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Nearest-source distances and the winning source for each vertex.
 
@@ -141,7 +153,7 @@ def multi_source_bfs(
 
 def all_pairs_distances(
     graph: Graph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Iterator[Tuple[int, np.ndarray]]:
     """Yield ``(v, distances-from-v)`` for every vertex.
 

@@ -21,7 +21,6 @@ against the ``O(m + n)`` footprint of IFECC.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -34,6 +33,7 @@ from repro.errors import (
     InvalidVertexError,
 )
 from repro.graph.csr import Graph
+from repro.obs.trace import Stopwatch
 from repro.pll.ordering import get_order
 
 __all__ = ["PLLIndex", "build_pll_index"]
@@ -162,7 +162,7 @@ def build_pll_index(
     dist_lists: List[List[int]] = [[] for _ in range(n)]
     # tentative[u]: best query(v_k, u) using labels built so far; reset
     # per landmark via the touched list (standard PLL trick).
-    start = time.perf_counter()
+    watch = Stopwatch()
     indptr, indices = graph.indptr, graph.indices
 
     # Distances from the current landmark to hub h, indexed by hub rank —
@@ -174,7 +174,7 @@ def build_pll_index(
         if (
             time_budget is not None
             and k % 64 == 0
-            and time.perf_counter() - start > time_budget
+            and watch.elapsed() > time_budget
         ):
             raise BudgetExhaustedError(
                 time_budget,
@@ -220,7 +220,7 @@ def build_pll_index(
 
     hubs = [np.asarray(h, dtype=np.int32) for h in hub_lists]
     dists = [np.asarray(d, dtype=np.int32) for d in dist_lists]
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     return PLLIndex(
         hubs, dists, construction_seconds=elapsed, ordering=ordering
     )

@@ -24,7 +24,7 @@ from repro.errors import (
     InvalidParameterError,
     InvalidVertexError,
 )
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 from repro.weighted.graph import WeightedGraph
 
 __all__ = [
@@ -37,7 +37,7 @@ __all__ = [
 def dijkstra_distances(
     graph: WeightedGraph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """Distances from ``source`` to every vertex (``inf`` = unreachable).
 
@@ -83,7 +83,7 @@ def dijkstra_distances(
 def weighted_eccentricity_and_distances(
     graph: WeightedGraph,
     source: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> Tuple[float, np.ndarray]:
     """Weighted eccentricity of ``source`` (within its component) plus
     the distance vector."""
@@ -105,6 +105,7 @@ class DijkstraOracle:
     dtype = np.dtype(np.float64)
     symmetric = True
     metric_name = "IFECC-weighted"
+    trace_kind = "dijkstra"
 
     def __init__(self, graph: WeightedGraph, tolerance: float = 1e-9) -> None:
         self.graph = graph

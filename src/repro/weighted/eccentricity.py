@@ -29,7 +29,7 @@ from repro.core.extremes import ExtremesResult, oracle_radius_and_diameter
 from repro.core.result import EccentricityResult
 from repro.core.solver import EccentricitySolver
 from repro.errors import InvalidParameterError
-from repro.graph.traversal import BFSCounter
+from repro.graph.traversal import TraversalCounter
 from repro.weighted.dijkstra import (
     DijkstraOracle,
     weighted_eccentricity_and_distances,
@@ -49,7 +49,7 @@ _TOL = 1e-9
 
 def naive_weighted_eccentricities(
     graph: WeightedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
 ) -> np.ndarray:
     """One Dijkstra per vertex — the weighted oracle."""
     n = graph.num_vertices
@@ -63,7 +63,7 @@ def naive_weighted_eccentricities(
 
 def weighted_solver(
     graph: WeightedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     tolerance: float = _TOL,
     memoize_distances: bool = False,
 ) -> EccentricitySolver:
@@ -83,7 +83,7 @@ def weighted_solver(
 
 def weighted_eccentricities(
     graph: WeightedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     tolerance: float = _TOL,
 ) -> EccentricityResult:
     """Exact weighted ED with the IFECC scheme (Dijkstra traversals).
@@ -99,7 +99,7 @@ def weighted_eccentricities(
 def approximate_weighted_eccentricities(
     graph: WeightedGraph,
     k: int,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     tolerance: float = _TOL,
 ) -> EccentricityResult:
     """Weighted kIFECC: stop after ``k`` FFO-front Dijkstra probes.
@@ -120,7 +120,7 @@ def approximate_weighted_eccentricities(
 
 def weighted_radius_and_diameter(
     graph: WeightedGraph,
-    counter: Optional[BFSCounter] = None,
+    counter: Optional[TraversalCounter] = None,
     tolerance: float = _TOL,
 ) -> ExtremesResult:
     """Certified weighted radius and diameter with early termination.

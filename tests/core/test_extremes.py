@@ -70,9 +70,9 @@ class TestEfficiency:
         assert result.num_bfs < social_graph.num_vertices / 5
 
     def test_counter_consistent(self, web_graph):
-        from repro.graph.traversal import BFSCounter
+        from repro.graph.traversal import TraversalCounter
 
-        counter = BFSCounter()
+        counter = TraversalCounter()
         result = radius_and_diameter(web_graph, counter=counter)
         assert counter.bfs_runs == result.num_bfs
 

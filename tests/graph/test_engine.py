@@ -22,7 +22,7 @@ from repro.graph.generators import (
 )
 from repro.graph.traversal import (
     UNREACHED,
-    BFSCounter,
+    TraversalCounter,
     bfs_distances,
     bfs_distances_bounded,
     multi_source_bfs,
@@ -204,11 +204,11 @@ class TestHybridEquivalence:
 
     def test_counter_inspected_accounting(self):
         graph = star_graph(500)
-        counter = BFSCounter()
+        counter = TraversalCounter()
         bfs_distances(graph, 1, counter=counter)
         assert counter.bfs_runs == 1
         assert counter.edges_inspected >= counter.edges_scanned
-        merged = BFSCounter()
+        merged = TraversalCounter()
         merged.merge(counter)
         assert merged.edges_inspected == counter.edges_inspected
 
@@ -233,6 +233,55 @@ class TestHybridEquivalence:
         g2 = path_graph(5)
         assert engine_for(g1) is engine_for(g1)
         assert engine_for(g1) is not engine_for(g2)
+
+
+class TestRunStatsInvariants:
+    """BFSRunStats must stay internally consistent on every level mix.
+
+    ``edges_inspected`` counts the top-down arcs *plus* whatever the
+    bottom-up levels probed, so it can never fall below
+    ``edges_scanned``; and the per-level audit lists must agree on how
+    many levels the run had.
+    """
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_inspected_dominates_scanned(self, mode):
+        for i, graph in enumerate(CORPUS):
+            engine = BFSEngine(graph)
+            n = graph.num_vertices
+            for source in range(0, n, max(1, n // 4)):
+                engine.run(source, mode=mode)
+                stats = engine.last_stats
+                assert stats.edges_inspected >= stats.edges_scanned, (
+                    f"graph #{i} (n={n}), source {source}, mode {mode}"
+                )
+                assert stats.edges_scanned >= 0
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_per_level_lists_agree(self, mode):
+        for i, graph in enumerate(CORPUS):
+            engine = BFSEngine(graph)
+            engine.run(0, mode=mode)
+            stats = engine.last_stats
+            assert len(stats.directions) == len(stats.frontier_sizes), (
+                f"graph #{i}, mode {mode}"
+            )
+            assert len(stats.directions) == stats.levels
+            assert all(d in ("td", "bu") for d in stats.directions)
+            assert all(f > 0 for f in stats.frontier_sizes)
+
+    def test_forced_modes_are_pure(self):
+        graph = star_graph(1000)
+        engine = BFSEngine(graph)
+        engine.run(0, mode="top-down")
+        assert set(engine.last_stats.directions) <= {"td"}
+        # a pure top-down run inspects exactly what it scans
+        assert (
+            engine.last_stats.edges_inspected
+            == engine.last_stats.edges_scanned
+        )
+        engine.run(0, mode="bottom-up")
+        assert set(engine.last_stats.directions) <= {"bu"}
 
 
 class TestMultiSourceEquivalence:

@@ -13,7 +13,7 @@ from repro.graph.generators import (
 )
 from repro.graph.msbfs import msbfs_eccentricities, multi_source_distances
 from repro.graph.properties import exact_eccentricities
-from repro.graph.traversal import BFSCounter, bfs_distances
+from repro.graph.traversal import TraversalCounter, bfs_distances
 from helpers import random_connected_graph
 
 
@@ -68,7 +68,7 @@ class TestMultiSourceDistances:
 
     def test_counter_credits_all_lanes(self):
         g = cycle_graph(10)
-        counter = BFSCounter()
+        counter = TraversalCounter()
         multi_source_distances(g, [0, 1, 2], counter=counter)
         assert counter.bfs_runs == 3
 

@@ -15,7 +15,7 @@ from repro.graph.generators import (
 )
 from repro.graph.traversal import (
     UNREACHED,
-    BFSCounter,
+    TraversalCounter,
     bfs_distances,
     bfs_distances_bounded,
     eccentricity,
@@ -168,31 +168,70 @@ class TestMultiSourceBFS:
         np.testing.assert_array_equal(dist, singles.min(axis=0))
 
 
-class TestBFSCounter:
+class TestTraversalCounter:
     def test_counts_runs(self):
         g = path_graph(5)
-        counter = BFSCounter()
+        counter = TraversalCounter()
         bfs_distances(g, 0, counter=counter)
         bfs_distances(g, 1, counter=counter)
         assert counter.bfs_runs == 2
 
     def test_counts_vertices(self):
         g = path_graph(5)
-        counter = BFSCounter()
+        counter = TraversalCounter()
         bfs_distances(g, 0, counter=counter)
         assert counter.vertices_visited == 5
 
     def test_merge(self):
-        a, b = BFSCounter(), BFSCounter()
+        a, b = TraversalCounter(), TraversalCounter()
         bfs_distances(path_graph(3), 0, counter=a)
         bfs_distances(path_graph(3), 0, counter=b)
         a.merge(b)
         assert a.bfs_runs == 2
 
     def test_history_labels(self):
-        counter = BFSCounter()
+        counter = TraversalCounter()
         bfs_distances(path_graph(3), 2, counter=counter)
         assert counter.history == ["bfs:2"]
+
+
+class TestBFSCounterDeprecation:
+    """The old meter name survives as a warning-emitting alias."""
+
+    def test_counters_alias_warns_and_resolves(self):
+        import repro.counters as counters
+
+        with pytest.warns(DeprecationWarning, match="TraversalCounter"):
+            alias = counters.BFSCounter
+        assert alias is TraversalCounter
+
+    def test_graph_traversal_forwarder_warns(self):
+        import repro.graph.traversal as traversal
+
+        with pytest.warns(DeprecationWarning):
+            alias = traversal.BFSCounter
+        assert alias is TraversalCounter
+
+    def test_graph_package_forwarder_warns(self):
+        import repro.graph as graph_pkg
+
+        with pytest.warns(DeprecationWarning):
+            alias = graph_pkg.BFSCounter
+        assert alias is TraversalCounter
+
+    def test_new_name_is_silent(self, recwarn):
+        counter = TraversalCounter()
+        counter.record(edges=1, vertices=1)
+        deprecations = [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+        assert deprecations == []
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.counters as counters
+
+        with pytest.raises(AttributeError):
+            counters.NoSuchMeter
 
 
 class TestAllPairs:
@@ -209,7 +248,7 @@ class TestAllPairs:
         from repro.graph.traversal import all_pairs_distances
 
         g = path_graph(6)
-        counter = BFSCounter()
+        counter = TraversalCounter()
         list(all_pairs_distances(g, counter=counter))
         assert counter.bfs_runs == 6
 

@@ -1,0 +1,56 @@
+"""Trace determinism: identical runs emit identical event sequences.
+
+The tracer strips wall-clock keys via ``deterministic_view``; what is
+left — span nesting, sources probed, bounds resolved per traversal,
+per-level BFS direction decisions — is a pure function of the graph and
+the algorithm.  Two back-to-back runs must agree exactly, and the
+sequence is pinned against a golden trace so an accidental change to
+probe order or event schema fails loudly.
+"""
+
+import json
+from pathlib import Path
+
+from repro import IFECC
+from repro.graph.generators import paper_example_graph
+from repro.obs.trace import MemorySink, deterministic_view, tracing
+
+GOLDEN = Path(__file__).resolve().parent.parent / "data" / "golden_trace.json"
+
+
+def _traced_events():
+    sink = MemorySink()
+    with tracing(sink):
+        IFECC(paper_example_graph()).run()
+    return sink.events
+
+
+def _normalized(events):
+    """JSON round-trip so tuples/lists and int widths compare equal."""
+    return json.loads(json.dumps(deterministic_view(events)))
+
+
+class TestTraceDeterminism:
+    def test_two_runs_identical_modulo_timestamps(self):
+        first = _traced_events()
+        second = _traced_events()
+        assert _normalized(first) == _normalized(second)
+        # ... while the raw events DO differ (wall-clock keys present),
+        # proving deterministic_view is what establishes equality.
+        assert any("t" in e or "t0" in e for e in first)
+
+    def test_matches_golden_trace(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        live = _normalized(_traced_events())
+        assert live == golden
+
+    def test_golden_trace_shape(self):
+        """Sanity-pin the golden file itself: probes, bfs runs, one root."""
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        names = [e["name"] for e in golden]
+        assert names.count("solver.probe") == names.count("bfs.run")
+        assert names.count("solver.run") == 1
+        roots = [e for e in golden if e["parent"] is None]
+        assert [e["name"] for e in roots] == ["solver.run"]

@@ -1,0 +1,108 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.counters import TraversalCounter
+from repro.graph.engine import BFSRunStats
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge_tracks_extremes(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        gauge.set(9.0)
+        snap = gauge.snapshot()
+        assert snap["value"] == 9.0
+        assert snap["min"] == 2.0
+        assert snap["max"] == 9.0
+
+    def test_gauge_first_set_defines_both_extremes(self):
+        gauge = Gauge("g")
+        gauge.set(-3.0)
+        assert gauge.min == gauge.max == -3.0
+
+    def test_histogram_buckets_by_upper_bound(self):
+        hist = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        # inclusive upper edges + one overflow bucket
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.total == 5
+        assert hist.sum == pytest.approx(556.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[])
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[2.0, 1.0])
+
+    def test_default_buckets_increasing_powers_of_two(self):
+        assert DEFAULT_SIZE_BUCKETS[0] == 1.0
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_ingest_traversal_counter(self):
+        registry = MetricsRegistry()
+        counter = TraversalCounter()
+        counter.record(edges=10, vertices=5, inspected=25)
+        counter.record(edges=2, vertices=3, relaxations=7)
+        registry.ingest_traversal_counter(counter)
+        snap = registry.snapshot()
+        assert snap["traversal.runs"]["value"] == 2
+        assert snap["traversal.edges_scanned"]["value"] == 12
+        assert snap["traversal.edges_inspected"]["value"] == 27
+        assert snap["traversal.vertices_visited"]["value"] == 8
+        assert snap["traversal.relaxations"]["value"] == 7
+
+    def test_ingest_run_stats(self):
+        registry = MetricsRegistry()
+        stats = BFSRunStats(
+            source=0,
+            levels=3,
+            edges_scanned=40,
+            edges_inspected=90,
+            directions=["td", "bu", "bu"],
+            frontier_sizes=[4, 100, 2],
+        )
+        registry.ingest_run_stats(stats)
+        snap = registry.snapshot()
+        assert snap["bfs.runs"]["value"] == 1
+        assert snap["bfs.levels"]["value"] == 3
+        assert snap["bfs.levels_bottom_up"]["value"] == 2
+        assert snap["bfs.levels_top_down"]["value"] == 1
+        assert snap["bfs.frontier_size"]["total"] == 3
+        assert snap["bfs.frontier_size"]["sum"] == pytest.approx(106.0)
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(1.5)
+        snap = registry.snapshot()
+        keys = [k for k in snap if snap[k]["type"] == "counter"]
+        assert keys == ["a", "b"]
+        json.dumps(snap)  # must serialise as-is

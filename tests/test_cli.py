@@ -45,6 +45,57 @@ class TestApprox:
         assert "resolved=" in out
 
 
+class TestTrace:
+    def test_ecc_trace_round_trip(self, example_file, tmp_path, capsys):
+        """--trace writes a record whose contents match the live run."""
+        from repro.obs.record import RunRecord
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["ecc", example_file, "--trace", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "radius=3 diameter=5" in out
+        assert "run record written" in out
+
+        record = RunRecord.read_jsonl(str(trace_path))
+        assert record.result["radius"] == 3
+        assert record.result["diameter"] == 5
+        assert record.result["exact"] is True
+        assert record.result["resolved"] == 13
+        assert record.config == {"command": "ecc", "references": 1}
+        assert len(record.probe_events()) == record.result["num_traversals"]
+        assert record.counters["traversal_runs"] == record.result[
+            "num_traversals"
+        ]
+
+    def test_approx_trace(self, example_file, tmp_path):
+        from repro.obs.record import RunRecord
+
+        trace_path = tmp_path / "approx.jsonl"
+        assert main(
+            ["approx", example_file, "-k", "4", "--trace", str(trace_path)]
+        ) == 0
+        record = RunRecord.read_jsonl(str(trace_path))
+        assert record.config["command"] == "approx"
+        assert record.config["k"] == 4
+
+    def test_trace_summarize(self, example_file, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        main(["ecc", example_file, "--trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "convergence:" in out
+        assert "radius=3" in out
+        assert "diameter=5" in out
+
+    def test_no_trace_flag_writes_nothing(self, example_file, tmp_path):
+        before = set(tmp_path.iterdir())
+        assert main(["ecc", example_file]) == 0
+        assert set(tmp_path.iterdir()) == before
+
+
 class TestDiameter:
     def test_diameter(self, example_file, capsys):
         assert main(["diameter", example_file]) == 0

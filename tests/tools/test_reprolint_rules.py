@@ -285,6 +285,21 @@ class TestPublicApi:
         diags = run('"""Doc."""\nX = 1\n', path="tests/test_example.py")
         assert "R5" not in codes(diags)
 
+    def test_silent_on_pep562_getattr_name(self):
+        # A deprecated alias served by module __getattr__ (PEP 562)
+        # counts as bound even with no module-scope assignment.
+        diags = run(
+            '"""Doc."""\n'
+            '__all__ = ["X", "OldX"]\n'
+            "X = 1\n"
+            "def __getattr__(name: str) -> object:\n"
+            '    if name == "OldX":\n'
+            "        return X\n"
+            "    raise AttributeError(name)\n",
+            select="R5",
+        )
+        assert diags == []
+
 
 # ----------------------------------------------------------------- R6
 class TestDtypeContracts:
@@ -410,6 +425,107 @@ class TestTypingGate:
         diags = run(wrap("def f(x):\n    pass\n"),
                     path="tests/test_example.py")
         assert "R7" not in codes(diags)
+
+
+# ----------------------------------------------------------------- R8
+class TestAdhocTiming:
+    def test_fires_on_perf_counter_pair(self):
+        diags = run(
+            wrap(
+                """
+                import time
+                def f() -> float:
+                    start = time.perf_counter()
+                    return time.perf_counter() - start
+                """
+            ),
+            select="R8",
+        )
+        assert len(diags) == 2
+        assert "Stopwatch" in diags[0].message
+
+    def test_fires_on_from_import_alias(self):
+        diags = run(
+            wrap(
+                """
+                from time import perf_counter as clock
+                def f() -> float:
+                    return clock()
+                """
+            ),
+            select="R8",
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_monotonic(self):
+        diags = run(
+            wrap(
+                """
+                import time
+                def f() -> float:
+                    return time.monotonic()
+                """
+            ),
+            select="R8",
+        )
+        assert len(diags) == 1
+
+    def test_silent_on_stopwatch(self):
+        diags = run(
+            wrap(
+                """
+                from repro.obs.trace import Stopwatch
+                def f() -> float:
+                    watch = Stopwatch()
+                    return watch.elapsed()
+                """
+            ),
+            select="R8",
+        )
+        assert diags == []
+
+    def test_silent_inside_obs(self):
+        # repro.obs implements the clock abstraction; the raw counter is
+        # allowed there (and only there).
+        diags = run(
+            wrap(
+                """
+                import time
+                def f() -> float:
+                    return time.perf_counter()
+                """
+            ),
+            path="src/repro/obs/trace.py",
+            select="R8",
+        )
+        assert diags == []
+
+    def test_silent_outside_src(self):
+        diags = run(
+            wrap(
+                """
+                import time
+                def f() -> float:
+                    return time.perf_counter()
+                """
+            ),
+            path="tests/test_example.py",
+            select="R8",
+        )
+        assert diags == []
+
+    def test_silent_on_unrelated_time_calls(self):
+        diags = run(
+            wrap(
+                """
+                import time
+                def f() -> str:
+                    return time.strftime("%Y")
+                """
+            ),
+            select="R8",
+        )
+        assert diags == []
 
 
 # ------------------------------------------------------- suppressions

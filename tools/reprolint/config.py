@@ -17,6 +17,7 @@ __all__ = [
     "PUBLIC_API_EXEMPT",
     "CANONICAL_DTYPES",
     "KNOWN_DTYPES",
+    "TIMING_EXEMPT_PREFIXES",
 ]
 
 #: Everything under here is shipped library code and held to the
@@ -83,6 +84,13 @@ PUBLIC_API_EXEMPT = frozenset({"src/repro/__main__.py"})
 #: variables with these exact names must be constructed with the matching
 #: dtype whenever an explicit dtype appears at the construction site.
 CANONICAL_DTYPES = {"indptr": "int64", "indices": "int32"}
+
+#: The observability subsystem is the only shipped code allowed to call
+#: ``time.perf_counter()`` directly (R8 ``no-adhoc-timing``): it *is*
+#: the clock abstraction.  Everything else measures wall time through
+#: ``repro.obs.trace.Stopwatch`` or a tracer span, so timings stay
+#: consistent, mockable, and visible to the trace/metrics layer.
+TIMING_EXEMPT_PREFIXES = ("src/repro/obs/",)
 
 #: Dtype spellings understood by the ``:dtype name: <dtype>`` docstring
 #: contract grammar.

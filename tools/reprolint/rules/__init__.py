@@ -1,6 +1,7 @@
 """Rule modules.  Importing this package registers every rule."""
 
 from reprolint.rules import (  # noqa: F401  (registration side effects)
+    adhoc_timing,
     bounds_api,
     csr_immutable,
     dtype_contracts,
@@ -11,6 +12,7 @@ from reprolint.rules import (  # noqa: F401  (registration side effects)
 )
 
 __all__ = [
+    "adhoc_timing",
     "bounds_api",
     "csr_immutable",
     "dtype_contracts",

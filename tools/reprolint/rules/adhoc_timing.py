@@ -1,0 +1,89 @@
+"""R8 — no ad-hoc timing: shipped code uses the obs stopwatch.
+
+The observability layer (:mod:`repro.obs`) gives every wall-clock
+measurement one home: ``Stopwatch`` for result timings, spans for traced
+work.  A bare ``time.perf_counter()`` pair scattered in library code is
+invisible to the tracer, unmockable in tests, and — as the pre-obs code
+base demonstrated — drifts into subtly different start/stop conventions
+per module.  R8 flags every direct ``perf_counter`` call in shipped code
+outside :mod:`repro.obs` itself (the one module that *implements* the
+clock abstraction and must read the raw counter).
+
+Both spellings are caught: ``time.perf_counter()`` and a bare
+``perf_counter()`` reached via ``from time import perf_counter``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from reprolint.config import SRC_PREFIX, TIMING_EXEMPT_PREFIXES
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["AdhocTimingRule"]
+
+#: ``time`` module clock functions R8 polices.  ``perf_counter`` is the
+#: one the repo's timing pairs used; the nanosecond variant and
+#: ``monotonic`` are the obvious workarounds.
+_CLOCK_NAMES = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+)
+
+
+def _imported_clock_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to ``time`` clock functions via from-imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for name in node.names:
+                if name.name in _CLOCK_NAMES:
+                    aliases.add(name.asname or name.name)
+    return aliases
+
+
+@rule
+class AdhocTimingRule(Rule):
+    rule_id = "R8"
+    rule_name = "no-adhoc-timing"
+    summary = (
+        "Shipped code must not call time.perf_counter()/monotonic() "
+        "directly; measure through repro.obs.trace.Stopwatch or a span."
+    )
+    protects = (
+        "one wall-clock convention, visible to the tracing/metrics layer"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not ctx.is_under(SRC_PREFIX):
+            return False
+        return not any(
+            ctx.is_under(prefix) for prefix in TIMING_EXEMPT_PREFIXES
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        aliases = _imported_clock_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            clock = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_NAMES
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                clock = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in aliases:
+                clock = func.id
+            if clock is not None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"ad-hoc {clock}() call in shipped code; use "
+                    "repro.obs.trace.Stopwatch (or a tracer span) so the "
+                    "measurement is uniform and trace-visible",
+                )

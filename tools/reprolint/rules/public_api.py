@@ -5,7 +5,9 @@ stale entry turns ``from repro.x import *`` and the API docs into
 runtime errors.  The rule requires a literal list/tuple of strings and
 verifies each listed name is actually bound at module top level
 (definitions, assignments, imports — including inside top-level
-``if``/``try`` blocks).
+``if``/``try`` blocks).  Names served lazily by a module-level
+``__getattr__`` (PEP 562 — the deprecation-alias pattern) count as
+bound when they appear as string literals inside that function.
 """
 
 from __future__ import annotations
@@ -59,7 +61,26 @@ def module_bindings(tree: ast.Module) -> Set[str]:
                     visit_block(stmt.orelse)
 
     visit_block(tree.body)
+    bound.update(_pep562_names(tree))
     return bound
+
+
+def _pep562_names(tree: ast.Module) -> Set[str]:
+    """Names a module-level ``__getattr__`` (PEP 562) can serve.
+
+    Approximated as the string literals mentioned inside the function —
+    exactly how the repo's deprecation aliases spell the names they
+    forward (``if name == "BFSCounter": ...``).
+    """
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__":
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    names.add(node.value)
+    return names
 
 
 def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
