@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test tier-guard bench bench-smoke examples results clean lint typecheck check
+.PHONY: install test test-sanitized tier-guard bench bench-smoke examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,10 +19,16 @@ tier-guard:
 		|| { echo "tier-guard: tests/weighted + tests/directed collect no tests"; exit 1; }
 
 # Invariant-aware static analysis (tools/reprolint); exits non-zero on
-# any rule violation.  Run `python -m reprolint --list-rules` for the
-# rule catalogue.
+# any rule violation.  Self-lints tools/reprolint.  Run
+# `python -m reprolint --list-rules` for the rule catalogue.
 lint:
-	python -m reprolint src tests benchmarks
+	python -m reprolint src tests benchmarks tools
+
+# Tier-1 suite with the runtime workspace sanitizer armed: pooled
+# buffers become guarded loans, CSR arrays trap writes, stale reads
+# raise SanitizerError.  CI runs this as a separate job.
+test-sanitized:
+	REPRO_SANITIZE=1 pytest tests/
 
 # mypy under the [tool.mypy] config in pyproject.toml.  Skips (exit 0)
 # when mypy is not installed; `pip install -e .[dev]` provides it.
@@ -35,8 +41,9 @@ typecheck:
 	fi
 
 # Everything a PR must pass: tier-1 tests (weighted/directed tier
-# membership included), reprolint, and the type gate.
-check: test tier-guard lint typecheck
+# membership included), the sanitized rerun, reprolint, and the type
+# gate.
+check: test test-sanitized tier-guard lint typecheck
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -110,6 +110,9 @@ def compute_ffo(
     ``engine`` lets callers that run many traversals (IFECC's sweep)
     reuse one pooled-workspace engine; the FFO retains the distance
     vector, so it is copied out of the pooled buffer.
+
+    :mutates engine: the run clobbers its pooled distance buffer, so any
+        outstanding loan from a previous ``engine.run`` goes stale.
     """
     if engine is None:
         engine = engine_for(graph)

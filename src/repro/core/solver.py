@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.core.bounds import BoundState
 from repro.core.ffo import FarthestFirstOrder, farthest_first_order
 from repro.core.oracles import DistanceOracle
@@ -166,7 +167,13 @@ class EccentricitySolver:
             ffos.append(ffo)
             reverse.append(dist_into)
             self.bounds.set_exact(z, ffo.eccentricity)
-            self._known[z] = (ffo.eccentricity, dist_into)
+            # Memoising relies on source_probe's caller-owned contract;
+            # under REPRO_SANITIZE=1 a pooled loan slipping in raises
+            # here, at the retention site, not at some later stale read.
+            self._known[z] = (
+                ffo.eccentricity,
+                sanitize.assert_owned(dist_into),
+            )
             snap = self._snapshot(z)
             if tracer.enabled:
                 self._finish_probe_span(tracer, span, ffo.eccentricity, snap)
@@ -282,7 +289,10 @@ class EccentricitySolver:
                     # eccentricity; its probes skip this step.)
                     bounds.set_exact(source, ecc_s)
                 if self.memoize_distances:
-                    self._known[source] = (ecc_s, dist_s.copy())
+                    self._known[source] = (
+                        ecc_s,
+                        sanitize.assert_owned(dist_s.copy()),
+                    )
                 fresh_probe = True
             # Lemma 3.1 (lower) for the territory...
             bounds.raise_lower_subset(unresolved, dist_s[unresolved])

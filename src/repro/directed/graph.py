@@ -17,6 +17,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import GraphConstructionError, InvalidVertexError
 from repro.graph.csr import Graph
 
@@ -59,13 +60,18 @@ class DirectedGraph:
             raise GraphConstructionError(
                 "forward and reverse arc counts differ"
             )
-        for arr in (
-            self._fwd_indptr,
-            self._fwd_indices,
-            self._rev_indptr,
-            self._rev_indices,
-        ):
-            arr.setflags(write=False)
+        self._fwd_indptr = sanitize.freeze(
+            self._fwd_indptr, "DirectedGraph.fwd_indptr"
+        )
+        self._fwd_indices = sanitize.freeze(
+            self._fwd_indices, "DirectedGraph.fwd_indices"
+        )
+        self._rev_indptr = sanitize.freeze(
+            self._rev_indptr, "DirectedGraph.rev_indptr"
+        )
+        self._rev_indices = sanitize.freeze(
+            self._rev_indices, "DirectedGraph.rev_indices"
+        )
 
     @classmethod
     def from_arcs(

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.counters import TraversalCounter
 from repro.errors import (
     DisconnectedGraphError,
@@ -154,8 +155,12 @@ class DirectedBFSOracle:
         source: int,
         counter: Optional[TraversalCounter] = None,
     ) -> Tuple[float, np.ndarray, np.ndarray]:
-        fwd = forward_bfs(self.graph, source, counter=counter)
-        bwd = backward_bfs(self.graph, source, counter=counter)
+        fwd = sanitize.assert_owned(
+            forward_bfs(self.graph, source, counter=counter)
+        )
+        bwd = sanitize.assert_owned(
+            backward_bfs(self.graph, source, counter=counter)
+        )
         ecc = int(fwd.max()) if self.num_vertices else 0
         return ecc, fwd, bwd
 
@@ -164,7 +169,11 @@ class DirectedBFSOracle:
         source: int,
         counter: Optional[TraversalCounter] = None,
     ) -> Tuple[Optional[float], np.ndarray]:
-        return None, backward_bfs(self.graph, source, counter=counter)
+        # This back-end promises owned vectors (each backward BFS
+        # allocates); assert_owned enforces the promise at the boundary.
+        return None, sanitize.assert_owned(
+            backward_bfs(self.graph, source, counter=counter)
+        )
 
     def disconnected_error(self) -> DisconnectedGraphError:
         return DisconnectedGraphError(

@@ -15,6 +15,7 @@ __all__ = [
     "InvalidVertexError",
     "DatasetNotFoundError",
     "BudgetExhaustedError",
+    "SanitizerError",
 ]
 
 
@@ -64,6 +65,20 @@ class InvalidVertexError(ReproError):
 
 class DatasetNotFoundError(ReproError):
     """Raised when a dataset name is not present in the registry."""
+
+
+class SanitizerError(ReproError, ValueError):
+    """Raised by the runtime workspace sanitizer (:mod:`repro.sanitize`).
+
+    Fires when code violates the buffer-ownership discipline the static
+    rules (reprolint R9-R11) encode: reading a pooled distance vector
+    after the engine's next run invalidated it, re-entering a pooled
+    kernel mid-run, or writing a frozen CSR array.
+
+    Also a :class:`ValueError` so callers (and tests) that guard the
+    numpy read-only flag keep working unchanged when the sanitizer
+    upgrades the flag violation to a diagnosis with a borrow site.
+    """
 
 
 class BudgetExhaustedError(ReproError):

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import GraphConstructionError, InvalidVertexError
 
 __all__ = ["Graph"]
@@ -65,13 +66,13 @@ class Graph:
         indices = np.ascontiguousarray(indices, dtype=np.int32)
         if validate:
             self._validate_structure(indptr, indices)
-        indptr.setflags(write=False)
-        indices.setflags(write=False)
-        self._indptr = indptr
-        self._indices = indices
         degrees = np.diff(indptr).astype(np.int64)
-        degrees.setflags(write=False)
-        self._degrees = degrees
+        # freeze() clears the writeable flag; under REPRO_SANITIZE=1 it
+        # additionally upgrades write attempts to a SanitizerError that
+        # names the array and where it was constructed.
+        self._indptr = sanitize.freeze(indptr, "Graph.indptr")
+        self._indices = sanitize.freeze(indices, "Graph.indices")
+        self._degrees = sanitize.freeze(degrees, "Graph.degrees")
 
     @staticmethod
     def _validate_structure(indptr: np.ndarray, indices: np.ndarray) -> None:

@@ -52,12 +52,14 @@ workspaces.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import InvalidParameterError, InvalidVertexError
 from repro.graph.csr import Graph
 from repro.obs.trace import get_tracer
@@ -172,6 +174,7 @@ bfs_distances` wrapper) must copy.
         "_dedupe_mask",
         "_owner",
         "_priority",
+        "_guard",
         "__weakref__",
     )
 
@@ -200,6 +203,9 @@ bfs_distances` wrapper) must copy.
         self._dedupe_mask = np.zeros(n, dtype=np.bool_)
         self._owner: Optional[np.ndarray] = None  # lazy; multi-source only
         self._priority: Optional[np.ndarray] = None
+        # None unless REPRO_SANITIZE is armed at construction time, so
+        # the production cost of the sanitizer is one `is None` per run.
+        self._guard = sanitize.guard_if_enabled("BFSEngine")
         #: Eccentricity (max finite distance) of the last :meth:`run`.
         self.last_ecc: int = 0
         #: Per-level audit of the last :meth:`run`.
@@ -222,7 +228,29 @@ bfs_distances` wrapper) must copy.
         equivalence tests).  Returns the pooled ``int32`` distance
         vector — copy before the next call if you keep it.  Sets
         :attr:`last_ecc` and :attr:`last_stats`.
+
+        Under ``REPRO_SANITIZE=1`` the returned vector is a read-only
+        :class:`repro.sanitize.GuardedArray` loan that raises on use
+        after the next run.
         """
+        guard = self._guard
+        if guard is None:
+            return self._run_impl(source, limit, counter, mode)
+        guard.begin_run()
+        try:
+            dist = self._run_impl(source, limit, counter, mode)
+        finally:
+            guard.end_run()
+        return guard.loan(dist, "BFSEngine._dist")
+
+    def _run_impl(
+        self,
+        source: int,
+        limit: Optional[int],
+        counter: Optional["TraversalCounter"],
+        mode: str,
+    ) -> np.ndarray:
+        """The traversal itself; returns the raw pooled buffer."""
         if mode not in ("hybrid", "top-down", "bottom-up"):
             raise InvalidParameterError(f"unknown BFS mode: {mode!r}")
         if limit is not None and limit < 0:
@@ -386,6 +414,27 @@ bfs_distances` wrapper) must copy.
         or on collision-free levels, a plain dedupe suffices.
 
         Returns pooled buffers, valid until the next engine call.
+        Under ``REPRO_SANITIZE=1`` both are read-only guarded loans.
+        """
+        guard = self._guard
+        if guard is None:
+            return self._run_multi_impl(sources, counter)
+        guard.begin_run()
+        try:
+            dist, owner = self._run_multi_impl(sources, counter)
+        finally:
+            guard.end_run()
+        return (
+            guard.loan(dist, "BFSEngine._dist"),
+            guard.loan(owner, "BFSEngine._owner"),
+        )
+
+    def _run_multi_impl(
+        self,
+        sources: Sequence[int],
+        counter: Optional["TraversalCounter"],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The multi-source traversal; returns the raw pooled buffers.
 
         :dtype src: int64
         """
@@ -469,12 +518,20 @@ bfs_distances` wrapper) must copy.
 _ENGINES: "weakref.WeakKeyDictionary[Graph, BFSEngine]" = (
     weakref.WeakKeyDictionary()
 )
+_ENGINES_LOCK = threading.Lock()
 
 
 def engine_for(graph: Graph) -> BFSEngine:
-    """The cached :class:`BFSEngine` of ``graph`` (created on first use)."""
-    engine = _ENGINES.get(graph)
-    if engine is None:
-        engine = BFSEngine(graph)
-        _ENGINES[graph] = engine
+    """The cached :class:`BFSEngine` of ``graph`` (created on first use).
+
+    The get-or-create is serialized so two threads racing on a fresh
+    graph share one engine instead of silently pooling two sets of
+    buffers.  (The engine itself stays single-threaded per graph — the
+    sanitizer's reentrancy check enforces exactly that.)
+    """
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(graph)
+        if engine is None:
+            engine = BFSEngine(graph)
+            _ENGINES[graph] = engine
     return engine

@@ -29,11 +29,13 @@ batches, so sweeping hundreds of 64-lane batches stops paying three
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import InvalidVertexError
 from repro.graph.csr import Graph
 from repro.graph.engine import gather_csr_arcs
@@ -52,12 +54,14 @@ class _LaneWorkspace:
     :dtype next_mask: uint64
     """
 
-    __slots__ = ("seen", "frontier", "next_mask", "__weakref__")
+    __slots__ = ("seen", "frontier", "next_mask", "guard", "__weakref__")
 
     def __init__(self, num_vertices: int) -> None:
         self.seen = np.zeros(num_vertices, dtype=np.uint64)
         self.frontier = np.zeros(num_vertices, dtype=np.uint64)
         self.next_mask = np.zeros(num_vertices, dtype=np.uint64)
+        # None unless REPRO_SANITIZE is armed at construction time.
+        self.guard = sanitize.guard_if_enabled("_LaneWorkspace")
 
     def reset(self) -> None:
         """Zero every bitmap in place (start of a new batch)."""
@@ -69,14 +73,20 @@ class _LaneWorkspace:
 _WORKSPACES: "weakref.WeakKeyDictionary[Graph, _LaneWorkspace]" = (
     weakref.WeakKeyDictionary()
 )
+_WORKSPACES_LOCK = threading.Lock()
 
 
 def _workspace_for(graph: Graph) -> _LaneWorkspace:
-    """The cached lane workspace of ``graph`` (created on first use)."""
-    work = _WORKSPACES.get(graph)
-    if work is None:
-        work = _LaneWorkspace(graph.num_vertices)
-        _WORKSPACES[graph] = work
+    """The cached lane workspace of ``graph`` (created on first use).
+
+    Serialized like :func:`repro.graph.engine.engine_for`: one pooled
+    workspace per graph even when threads race the first sweep.
+    """
+    with _WORKSPACES_LOCK:
+        work = _WORKSPACES.get(graph)
+        if work is None:
+            work = _LaneWorkspace(graph.num_vertices)
+            _WORKSPACES[graph] = work
     return work
 
 
@@ -88,6 +98,28 @@ def _batch_distances(
 ) -> np.ndarray:
     """Distances for up to 64 sources in one bit-parallel sweep.
 
+    :mutates work: the lane bitmaps are zeroed, updated level by level,
+        and buffer-swapped in place; the sweep owns them for its duration.
+    """
+    guard = work.guard
+    if guard is None:
+        return _batch_impl(graph, sources, counter, work)
+    guard.begin_run()
+    try:
+        return _batch_impl(graph, sources, counter, work)
+    finally:
+        guard.end_run()
+
+
+def _batch_impl(
+    graph: Graph,
+    sources: np.ndarray,
+    counter: Optional[TraversalCounter],
+    work: _LaneWorkspace,
+) -> np.ndarray:
+    """The sweep itself (guard bookkeeping handled by the caller).
+
+    :mutates work: zeroes and swaps the lane bitmaps in place.
     :dtype dist: int32
     """
     n = graph.num_vertices

@@ -273,6 +273,16 @@ class Tracer:
         self._seq += 1
         return self._seq
 
+    def active_span_seq(self) -> Optional[int]:
+        """``seq`` of the innermost open span, or ``None`` outside spans.
+
+        The public read the workspace sanitizer
+        (:mod:`repro.sanitize`) uses to stamp borrow sites with the
+        span that was live when a pooled buffer was loaned out, so a
+        stale-read report can name the traversal that invalidated it.
+        """
+        return self._stack[-1] if self._stack else None
+
     def event(self, name: str, **attrs: Any) -> None:
         """Emit a point-in-time event (no duration)."""
         if not self.enabled:

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.counters import TraversalCounter
 from repro.errors import (
     DisconnectedGraphError,
@@ -134,6 +135,7 @@ class DijkstraOracle:
         ecc, dist = weighted_eccentricity_and_distances(
             self.graph, source, counter=counter
         )
+        dist = sanitize.assert_owned(dist)
         return ecc, dist, dist
 
     def sweep_probe(
@@ -141,10 +143,12 @@ class DijkstraOracle:
         source: int,
         counter: Optional[TraversalCounter] = None,
     ) -> Tuple[Optional[float], np.ndarray]:
+        # Unlike BFSOracle this back-end promises *owned* vectors (no
+        # pooling in the heap Dijkstra); assert_owned enforces the promise.
         ecc, dist = weighted_eccentricity_and_distances(
             self.graph, source, counter=counter
         )
-        return ecc, dist
+        return ecc, sanitize.assert_owned(dist)
 
     def disconnected_error(self) -> DisconnectedGraphError:
         return DisconnectedGraphError(2, "weighted graph is disconnected")

@@ -16,6 +16,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from repro.graph.csr import Graph
+from repro import sanitize
 from repro.errors import GraphConstructionError, InvalidVertexError
 
 __all__ = ["WeightedGraph"]
@@ -47,14 +48,11 @@ class WeightedGraph:
             raise GraphConstructionError("weights must be non-negative")
         if indptr[0] != 0 or indptr[-1] != len(indices):
             raise GraphConstructionError("malformed indptr")
-        for arr in (indptr, indices, weights):
-            arr.setflags(write=False)
-        self._indptr = indptr
-        self._indices = indices
-        self._weights = weights
         degrees = np.diff(indptr).astype(np.int64)
-        degrees.setflags(write=False)
-        self._degrees = degrees
+        self._indptr = sanitize.freeze(indptr, "WeightedGraph.indptr")
+        self._indices = sanitize.freeze(indices, "WeightedGraph.indices")
+        self._weights = sanitize.freeze(weights, "WeightedGraph.weights")
+        self._degrees = sanitize.freeze(degrees, "WeightedGraph.degrees")
 
     # ------------------------------------------------------------------
     @classmethod

@@ -15,6 +15,7 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro import sanitize
 from repro.graph.components import largest_connected_component
 from repro.graph.csr import Graph
 from repro.graph.generators import (
@@ -25,6 +26,19 @@ from repro.graph.generators import (
     watts_strogatz,
 )
 from repro.graph.properties import exact_eccentricities
+
+
+@pytest.fixture
+def sanitizer():
+    """Arm the runtime workspace sanitizer for one test.
+
+    Workspaces (engines, lane bitmaps, CSR arrays) must be constructed
+    *inside* the test for the guards to attach — pooled objects cached
+    before arming stay unguarded.  Equivalent to running the whole
+    session with ``REPRO_SANITIZE=1``.
+    """
+    with sanitize.sanitized():
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -79,3 +79,76 @@ class TestRepositoryClean:
             text=True,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestOutputFormats:
+    def _violation_file(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "example.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            '"""Doc."""\n'
+            "__all__ = []\n"
+            "def f(g: object) -> None:\n"
+            "    g.indptr = None\n"
+        )
+        return bad
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = self._violation_file(tmp_path)
+        code = main([str(bad), "--format", "json", "--select", "R1"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["violations"] == 1
+        assert report["summary"]["rules"] == 1
+        (diag,) = report["diagnostics"]
+        assert diag["rule_id"] == "R1"
+        assert diag["line"] == 4
+        assert diag["path"].endswith("example.py")
+        assert "message" in diag
+
+    def test_json_format_clean_report(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Doc."""\nX = 1\n')
+        code = main([str(clean), "--format", "json", "--select", "R1"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["diagnostics"] == []
+        assert report["summary"]["violations"] == 0
+
+    def test_github_format(self, tmp_path, capsys):
+        bad = self._violation_file(tmp_path)
+        code = main([str(bad), "--format", "github", "--select", "R1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert ",line=4," in out
+        assert "title=R1[csr-immutable]" in out
+
+    def test_github_format_warning_level(self):
+        from reprolint.diagnostics import Diagnostic
+
+        diag = Diagnostic(
+            rule_id="W1",
+            rule_name="unused-suppression",
+            path="src/repro/example.py",
+            line=3,
+            col=0,
+            message="stale % and\nnewline",
+        )
+        rendered = diag.format_github()
+        assert rendered.startswith("::warning ")
+        # GitHub annotation payloads must escape % and newlines.
+        assert "%25" in rendered and "%0A" in rendered
+        assert "\n" not in rendered
+
+    def test_text_format_unchanged_by_default(self, tmp_path, capsys):
+        bad = self._violation_file(tmp_path)
+        code = main([str(bad), "--select", "R1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R1[csr-immutable]" in out
+        assert not out.startswith("::")

@@ -600,3 +600,324 @@ class TestEngine:
 
         with pytest.raises(FileNotFoundError):
             lint_paths(["no/such/dir"])
+
+
+# ----------------------------------------------------------------- R9
+class TestWorkspaceEscape:
+    """R9: pooled workspace buffers must not escape without a copy."""
+
+    def test_protocol_loan_return_flagged(self):
+        diags = run(
+            wrap(
+                "def consume(o) -> np.ndarray:\n"
+                "    ecc, dist = o.sweep_probe(0)\n"
+                "    return dist\n"
+            ),
+            select="R9",
+        )
+        assert len(diags) == 1
+        assert "pooled workspace" in diags[0].message
+
+    def test_copy_is_clean(self):
+        diags = run(
+            wrap(
+                "def consume(o) -> np.ndarray:\n"
+                "    ecc, dist = o.sweep_probe(0)\n"
+                "    return dist.copy()\n"
+            ),
+            select="R9",
+        )
+        assert diags == []
+
+    def test_pooled_attr_return_flagged(self):
+        diags = run(
+            wrap(
+                "class BFSEngine:\n"
+                "    def __init__(self, n: int) -> None:\n"
+                "        self._dist = np.empty(n, dtype=np.int32)\n"
+                "    def peek(self) -> np.ndarray:\n"
+                "        return self._dist\n"
+            ),
+            path="src/repro/graph/engine.py",
+            select="R9",
+        )
+        assert len(diags) == 1
+
+    def test_registered_producer_exempt(self):
+        # BFSEngine.run is a documented producer: its own return of the
+        # pooled buffer is the API, not an escape.
+        diags = run(
+            wrap(
+                "class BFSEngine:\n"
+                "    def __init__(self, n: int) -> None:\n"
+                "        self._dist = np.empty(n, dtype=np.int32)\n"
+                "    def run(self, s: int) -> np.ndarray:\n"
+                "        self._dist.fill(0)\n"
+                "        return self._dist\n"
+            ),
+            path="src/repro/graph/engine.py",
+            select="R9",
+        )
+        assert diags == []
+
+    def test_module_global_stash_flagged(self):
+        diags = run(
+            wrap(
+                "_MEMO = {}\n"
+                "def remember(o, s: int) -> None:\n"
+                "    ecc, dist = o.sweep_probe(s)\n"
+                "    _MEMO[s] = dist\n"
+            ),
+            select="R9",
+        )
+        assert len(diags) == 1
+
+    def test_instance_store_flagged(self):
+        diags = run(
+            wrap(
+                "class Cache:\n"
+                "    def grab(self, o) -> None:\n"
+                "        ecc, dist = o.sweep_probe(0)\n"
+                "        self.kept = dist\n"
+            ),
+            select="R9",
+        )
+        assert len(diags) == 1
+
+    def test_derived_value_is_clean(self):
+        # Arithmetic allocates a fresh array; only the view is a loan.
+        diags = run(
+            wrap(
+                "def consume(o) -> np.ndarray:\n"
+                "    ecc, dist = o.sweep_probe(0)\n"
+                "    return dist + 1\n"
+            ),
+            select="R9",
+        )
+        assert diags == []
+
+
+# ---------------------------------------------------------------- R10
+class TestSharedState:
+    """R10: module-level mutable state must be manifest-registered."""
+
+    def test_unregistered_mutable_cache_flagged(self):
+        diags = run(
+            wrap(
+                "_cache = {}\n"
+                "def put(k, v) -> None:\n"
+                "    _cache[k] = v\n"
+            ),
+            select="R10",
+        )
+        assert len(diags) >= 1
+        assert "_cache" in diags[0].message
+
+    def test_registered_state_with_accessors_clean(self):
+        diags = run(
+            wrap(
+                "_CACHE = {}\n"
+                "def load_dataset(name):\n"
+                "    if name not in _CACHE:\n"
+                "        _CACHE[name] = name\n"
+                "    return _CACHE[name]\n"
+                "def clear_cache() -> None:\n"
+                "    _CACHE.clear()\n"
+            ),
+            path="src/repro/datasets/loader.py",
+            select="R10",
+        )
+        assert diags == []
+
+    def test_access_outside_guard_helpers_flagged(self):
+        diags = run(
+            wrap(
+                "_CACHE = {}\n"
+                "def load_dataset(name):\n"
+                "    return _CACHE.get(name)\n"
+                "def clear_cache() -> None:\n"
+                "    _CACHE.clear()\n"
+                "def sneak(name) -> None:\n"
+                "    _CACHE[name] = 1\n"
+            ),
+            path="src/repro/datasets/loader.py",
+            select="R10",
+        )
+        assert len(diags) == 1
+        assert "guard helpers" in diags[0].message
+
+    def test_stale_manifest_entry_flagged(self):
+        # The manifest registers _CACHE for this path; a module that no
+        # longer defines it should be reported so the manifest shrinks.
+        diags = run(
+            wrap("def load_dataset(name):\n    return name\n"),
+            path="src/repro/datasets/loader.py",
+            select="R10",
+        )
+        assert len(diags) == 1
+        assert "_CACHE" in diags[0].message
+
+    def test_constant_never_mutated_clean(self):
+        diags = run(
+            wrap(
+                "_TABLE = {'a': 1}\n"
+                "def get(k):\n"
+                "    return _TABLE[k]\n"
+            ),
+            select="R10",
+        )
+        assert diags == []
+
+    def test_global_rebind_flagged(self):
+        diags = run(
+            wrap(
+                "_state = 0\n"
+                "def bump() -> None:\n"
+                "    global _state\n"
+                "    _state += 1\n"
+            ),
+            select="R10",
+        )
+        assert len(diags) >= 1
+
+
+# ---------------------------------------------------------------- R11
+class TestMutationContract:
+    """R11: in-place parameter mutation must be declared via :mutates:."""
+
+    def test_undeclared_mutation_flagged(self):
+        diags = run(
+            wrap(
+                "def f(a: np.ndarray) -> None:\n"
+                '    """Doc."""\n'
+                "    a[0] = 1\n"
+            ),
+            select="R11",
+        )
+        assert len(diags) == 1
+        assert ":mutates a:" in diags[0].message
+
+    def test_declared_mutation_clean(self):
+        diags = run(
+            wrap(
+                "def f(a: np.ndarray) -> None:\n"
+                '    """Doc.\n\n    :mutates a: zeroed in place.\n    """\n'
+                "    a[0] = 1\n"
+            ),
+            select="R11",
+        )
+        assert diags == []
+
+    def test_stale_declaration_flagged(self):
+        diags = run(
+            wrap(
+                "def f(a: np.ndarray) -> int:\n"
+                '    """Doc.\n\n    :mutates a: but it does not.\n    """\n'
+                "    return int(a[0])\n"
+            ),
+            select="R11",
+        )
+        assert len(diags) == 1
+
+    def test_declaration_naming_non_param_flagged(self):
+        diags = run(
+            wrap(
+                "def f(a: np.ndarray) -> None:\n"
+                '    """Doc.\n\n    :mutates b: no such parameter.\n    """\n'
+                "    a[0] = 1\n"
+            ),
+            select="R11",
+        )
+        # Both the bogus name and the undeclared real mutation fire.
+        assert len(diags) == 2
+
+    def test_unannotated_param_out_of_scope(self):
+        # Without an ndarray-ish annotation the contract does not apply.
+        diags = run(
+            wrap(
+                "def f(a) -> None:\n"
+                '    """Doc."""\n'
+                "    a[0] = 1\n"
+            ),
+            select="R11",
+        )
+        assert diags == []
+
+    def test_fill_method_is_mutation(self):
+        diags = run(
+            wrap(
+                "def f(a: np.ndarray) -> None:\n"
+                '    """Doc."""\n'
+                "    a.fill(0)\n"
+            ),
+            select="R11",
+        )
+        assert len(diags) == 1
+
+
+# ------------------------------------------------------- W1 / W2 meta
+class TestSuppressionInventory:
+    def test_unused_suppression_warns(self):
+        diags = run(
+            wrap("X = 1  # reprolint: disable=R1\n"),
+            select="W1",
+        )
+        assert len(diags) == 1
+        assert "no longer suppresses" in diags[0].message
+
+    def test_unknown_rule_code_warns(self):
+        diags = run(
+            wrap("X = 1  # reprolint: disable=R99\n"),
+            select="W1",
+        )
+        assert len(diags) == 1
+        assert "no known rule" in diags[0].message
+
+    def test_used_suppression_is_silent(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr = None  # reprolint: disable=R1 (fixture)\n"),
+            select="W1",
+        )
+        assert diags == []
+
+    def test_suppression_text_inside_string_ignored(self):
+        # Suppression-shaped text in a string literal is data, not a
+        # waiver — it must not count (and must not warn as unused).
+        diags = run(
+            wrap('X = "# reprolint: disable=R1"\n'),
+            select="W1",
+        )
+        assert diags == []
+
+    def test_strict_rule_needs_justification(self):
+        diags = run(
+            wrap(
+                "def consume(o) -> np.ndarray:\n"
+                "    ecc, dist = o.sweep_probe(0)\n"
+                "    return dist  # reprolint: disable=R9\n"
+            ),
+            select="W2",
+        )
+        assert len(diags) == 1
+        assert "justification" in diags[0].message
+
+    def test_justified_strict_suppression_clean(self):
+        diags = run(
+            wrap(
+                "def consume(o) -> np.ndarray:\n"
+                "    ecc, dist = o.sweep_probe(0)\n"
+                "    return dist"
+                "  # reprolint: disable=R9 (caller consumes immediately)\n"
+            ),
+            select="W2",
+        )
+        assert diags == []
+
+    def test_lax_rule_needs_no_justification(self):
+        diags = run(
+            wrap("def f(g: object) -> None:\n"
+                 "    g.indptr = None  # reprolint: disable=R1\n"),
+            select="W2",
+        )
+        assert diags == []

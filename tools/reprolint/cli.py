@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from reprolint.diagnostics import Diagnostic
 from reprolint.engine import lint_paths
 from reprolint.registry import Rule, all_rules
 
@@ -45,6 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the summary line; print diagnostics only",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json", "github"),
+        default="text",
+        help=(
+            "output mode: 'text' (path:line:col lines, default), 'json' "
+            "(machine-readable report), or 'github' (Actions workflow "
+            "annotations so PRs are annotated in place)"
+        ),
     )
     return parser
 
@@ -88,8 +101,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
-    for diag in diagnostics:
-        print(diag.format())
+    _emit(diagnostics, rules, args)
+    return 1 if diagnostics else 0
+
+
+def _emit(
+    diagnostics: List[Diagnostic],
+    rules: List[Rule],
+    args: argparse.Namespace,
+) -> None:
+    if args.output_format == "json":
+        report = {
+            "diagnostics": [diag.to_dict() for diag in diagnostics],
+            "summary": {
+                "violations": len(diagnostics),
+                "rules": len(rules),
+            },
+        }
+        print(json.dumps(report, indent=2))
+        return
+    if args.output_format == "github":
+        for diag in diagnostics:
+            print(diag.format_github())
+    else:
+        for diag in diagnostics:
+            print(diag.format())
     if not args.quiet:
         noun = "violation" if len(diagnostics) == 1 else "violations"
         print(
@@ -97,7 +133,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({len(rules)} rules)",
             file=sys.stderr,
         )
-    return 1 if diagnostics else 0
 
 
 if __name__ == "__main__":

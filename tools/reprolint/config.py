@@ -8,6 +8,7 @@ from __future__ import annotations
 
 __all__ = [
     "SRC_PREFIX",
+    "SRC_ROOT",
     "CSR_MUTATION_ALLOWLIST",
     "BOUNDS_MODULE",
     "BOUNDS_PROTECTED_MODULES",
@@ -18,11 +19,22 @@ __all__ = [
     "CANONICAL_DTYPES",
     "KNOWN_DTYPES",
     "TIMING_EXEMPT_PREFIXES",
+    "POOLED_BUFFER_ATTRS",
+    "WORKSPACE_PRODUCERS",
+    "PROTOCOL_WORKSPACE_METHODS",
+    "WORKSPACE_RULE_EXEMPT",
+    "MUTATION_CONTRACT_TYPES",
+    "SHARED_STATE",
+    "JUSTIFICATION_REQUIRED",
 ]
 
 #: Everything under here is shipped library code and held to the
 #: strictest standard.
 SRC_PREFIX = "src/repro/"
+
+#: Import root of the shipped package; ``repro.x.y`` resolves to
+#: ``src/repro/x/y.py`` for the cross-module dataflow analysis.
+SRC_ROOT = "src"
 
 #: The only modules allowed to create or (re)mark CSR arrays.  They are
 #: the constructors: everything else must treat ``Graph.indptr`` /
@@ -91,6 +103,93 @@ CANONICAL_DTYPES = {"indptr": "int64", "indices": "int32"}
 #: ``repro.obs.trace.Stopwatch`` or a tracer span, so timings stay
 #: consistent, mockable, and visible to the trace/metrics layer.
 TIMING_EXEMPT_PREFIXES = ("src/repro/obs/",)
+
+# ---------------------------------------------------------------------------
+# Buffer-ownership policy (R9 / R10 / R11, tools/reprolint/dataflow.py)
+# ---------------------------------------------------------------------------
+
+#: Pooled workspace buffers, keyed by owning class.  An expression whose
+#: provenance reaches one of these attributes is treated as a *loan* of
+#: the pool: valid until the owner's next run, never to be returned or
+#: stored without an explicit ``.copy()``.
+POOLED_BUFFER_ATTRS = {
+    "repro.graph.engine.BFSEngine": frozenset(
+        {"_dist", "_frontier_mask", "_dedupe_mask", "_owner", "_priority"}
+    ),
+    "repro.graph.msbfs._LaneWorkspace": frozenset(
+        {"seen", "frontier", "next_mask"}
+    ),
+}
+
+#: Functions *documented* to return pooled buffers — the producer API.
+#: R9 does not flag their own ``return`` statements; every caller is
+#: still analysed as receiving a loan.  Keys are ``module-qualified``
+#: function names.
+WORKSPACE_PRODUCERS = frozenset(
+    {
+        "repro.graph.engine.BFSEngine.run",
+        "repro.graph.engine.BFSEngine._run_impl",
+        "repro.graph.engine.BFSEngine.run_multi",
+        "repro.graph.engine.BFSEngine._run_multi_impl",
+        "repro.core.oracles.BFSOracle.sweep_probe",
+        "repro.sanitize.WorkspaceGuard.loan",
+    }
+)
+
+#: ``DistanceOracle`` protocol methods that may return pooled-workspace
+#: views regardless of the concrete receiver; the tuple lists each
+#: returned slot as ``"workspace"`` or ``None``.  Keeps consumers honest
+#: even when the receiver's concrete class cannot be resolved.
+PROTOCOL_WORKSPACE_METHODS = {
+    "sweep_probe": (None, "workspace"),
+}
+
+#: Files exempt from R9: the sanitizer *is* the guard layer and handles
+#: raw pooled buffers by design.
+WORKSPACE_RULE_EXEMPT = frozenset({"src/repro/sanitize.py"})
+
+#: Annotation base names that put a parameter in scope for the R11
+#: ``:mutates name:`` docstring contract: ndarrays plus the registered
+#: pooled-workspace owner types.
+MUTATION_CONTRACT_TYPES = frozenset({"ndarray", "BFSEngine", "_LaneWorkspace"})
+
+#: Registered module-level mutable state (R10): every mutable module
+#: global and weak-keyed cache in shipped code must appear here, mapped
+#: to the guard helpers that are allowed to touch it.  Everything else
+#: must treat these names as private to their accessors.
+SHARED_STATE = {
+    "src/repro/graph/engine.py": {
+        "_ENGINES": ("engine_for",),
+    },
+    "src/repro/graph/msbfs.py": {
+        "_WORKSPACES": ("_workspace_for",),
+    },
+    "src/repro/datasets/loader.py": {
+        "_CACHE": ("load_dataset", "clear_cache"),
+    },
+    "src/repro/obs/trace.py": {
+        "_ACTIVE": ("get_tracer", "set_tracer", "tracing"),
+    },
+    "src/repro/sanitize.py": {
+        "_ENABLED": ("enabled", "enable", "disable", "sanitized"),
+    },
+    "tools/reprolint/registry.py": {
+        "RULE_REGISTRY": ("rule", "all_rules"),
+    },
+}
+
+#: Suppressions of these rules must carry a justification comment after
+#: the code list, e.g. ``disable=R9 (returns the documented loan)``.
+JUSTIFICATION_REQUIRED = frozenset(
+    {
+        "r9",
+        "workspace-escape",
+        "r10",
+        "guarded-shared-state",
+        "r11",
+        "inplace-mutation-contract",
+    }
+)
 
 #: Dtype spellings understood by the ``:dtype name: <dtype>`` docstring
 #: contract grammar.

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict, Union
 
 __all__ = ["Diagnostic"]
 
@@ -43,3 +44,17 @@ class Diagnostic:
 
     def sort_key(self) -> "tuple[str, int, int, str]":
         return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready mapping (``--format json``); ``col`` stays 0-based."""
+        return asdict(self)
+
+    def format_github(self) -> str:
+        """Render as a GitHub Actions workflow annotation command."""
+        level = "warning" if self.rule_id.startswith("W") else "error"
+        title = f"{self.rule_id}[{self.rule_name}]"
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (
+            f"::{level} file={self.path},line={self.line},"
+            f"col={self.col + 1},title={title}::{message}"
+        )

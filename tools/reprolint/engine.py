@@ -7,8 +7,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from reprolint.config import JUSTIFICATION_REQUIRED
 from reprolint.diagnostics import Diagnostic
-from reprolint.registry import Rule, all_rules
+from reprolint.registry import RULE_REGISTRY, Rule, all_rules
 from reprolint.suppressions import SuppressionIndex, parse_suppressions
 
 __all__ = ["ModuleContext", "lint_paths", "lint_source", "collect_files"]
@@ -81,8 +82,9 @@ def _build_context(path: str) -> ModuleContext:
 def _run_rules(
     ctx: ModuleContext, rules: Iterable[Rule]
 ) -> List[Diagnostic]:
+    active = list(rules)
     found: List[Diagnostic] = []
-    for rule_obj in rules:
+    for rule_obj in active:
         if not rule_obj.applies_to(ctx):
             continue
         for diag in rule_obj.check(ctx):
@@ -90,7 +92,68 @@ def _run_rules(
                 diag.line, diag.rule_id, diag.rule_name
             ):
                 found.append(diag)
+    found.extend(_meta_diagnostics(ctx, active))
     return found
+
+
+def _meta_diagnostics(
+    ctx: ModuleContext, active: List[Rule]
+) -> List[Diagnostic]:
+    """Suppression-inventory checks (run after the rules have matched).
+
+    ``W1`` flags ``# reprolint: disable=`` comments that suppressed
+    nothing — judged only for rules that actually ran, so a partial
+    ``--select`` never produces false alarms — and ``W2`` flags
+    justification-free waivers of the rules listed in
+    ``config.JUSTIFICATION_REQUIRED``.
+    """
+    active_keys = {r.rule_id.lower() for r in active} | {
+        r.rule_name.lower() for r in active
+    }
+    known_keys = {key.lower() for key in RULE_REGISTRY} | {
+        cls.rule_name.lower() for cls in RULE_REGISTRY.values()
+    }
+    out: List[Diagnostic] = []
+    for line, code, known in ctx.suppressions.unused(active_keys, known_keys):
+        if known:
+            message = (
+                f"suppression 'disable={code}' no longer suppresses "
+                f"anything here; remove it to keep the waiver "
+                f"inventory honest"
+            )
+        else:
+            message = (
+                f"suppression 'disable={code}' references no known rule"
+            )
+        out.append(
+            Diagnostic(
+                rule_id="W1",
+                rule_name="unused-suppression",
+                path=ctx.path,
+                line=line,
+                col=0,
+                message=message,
+            )
+        )
+    required = frozenset(code.lower() for code in JUSTIFICATION_REQUIRED)
+    for line, code in ctx.suppressions.missing_justification(
+        required, active_keys
+    ):
+        out.append(
+            Diagnostic(
+                rule_id="W2",
+                rule_name="unjustified-suppression",
+                path=ctx.path,
+                line=line,
+                col=0,
+                message=(
+                    f"suppressing {code} requires a justification after "
+                    f"the code list, e.g. '# reprolint: disable={code} "
+                    f"(why this loan is safe)'"
+                ),
+            )
+        )
+    return out
 
 
 def lint_paths(

@@ -7,8 +7,11 @@ from reprolint.rules import (  # noqa: F401  (registration side effects)
     dtype_contracts,
     hot_path_loops,
     import_hygiene,
+    mutation_contract,
     public_api,
+    shared_state,
     typing_gate,
+    workspace_escape,
 )
 
 __all__ = [
@@ -18,6 +21,9 @@ __all__ = [
     "dtype_contracts",
     "hot_path_loops",
     "import_hygiene",
+    "mutation_contract",
     "public_api",
+    "shared_state",
     "typing_gate",
+    "workspace_escape",
 ]

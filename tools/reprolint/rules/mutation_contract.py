@@ -1,0 +1,116 @@
+"""R11 — in-place mutation of array/workspace arguments must be declared.
+
+A function that writes into an ndarray argument (or clobbers a
+workspace-owner argument such as a ``BFSEngine``) changes state its
+caller also sees — the exact behaviour that must be explicit before the
+parallel backend can reason about which calls commute.  The contract is
+a docstring field line, machine-checked like the ``:dtype`` contracts::
+
+    :mutates work:
+
+Checked both ways with the dataflow analysis
+(:mod:`reprolint.dataflow`):
+
+* a parameter in contract scope (annotated with a type in
+  ``config.MUTATION_CONTRACT_TYPES``) that the body mutates — directly,
+  through a local alias, through ``np.<ufunc>.at`` / ``out=``, or
+  transitively through an intra-package call — must be declared;
+* a declared parameter must exist and must actually be mutated, so
+  stale contracts cannot linger after a refactor.
+
+``self``/``cls`` are exempt: mutating your own object is what methods
+are for; the pooled-buffer lifecycle of ``self`` state is R9's domain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from reprolint.config import MUTATION_CONTRACT_TYPES, SRC_PREFIX
+from reprolint.dataflow import (
+    FunctionAnalyzer,
+    ProjectIndex,
+    annotation_names,
+    iter_module_functions,
+    parse_mutates,
+)
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["MutationContractRule"]
+
+
+@rule
+class MutationContractRule(Rule):
+    rule_id = "R11"
+    rule_name = "inplace-mutation-contract"
+    summary = (
+        "Functions mutating an ndarray/workspace argument in place must "
+        "declare ':mutates <name>:' in their docstring (and vice versa)."
+    )
+    protects = (
+        "call-commutativity reasoning for the parallel backend; "
+        "explicit aliasing contracts at API boundaries"
+    )
+
+    def __init__(self) -> None:
+        self._index = ProjectIndex()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.is_under(SRC_PREFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        module = self._index.module_for_source(ctx.path, ctx.tree)
+        for qualname, func, _owner_node in iter_module_functions(ctx.tree):
+            owner = None
+            if "." in qualname:
+                owner = module.classes.get(qualname.split(".")[0])
+            in_scope = self._contract_scope(func)
+            docstring = ctx.docstring_of(func) or ""
+            declared = parse_mutates(docstring)
+            if not in_scope and not declared:
+                continue
+            summary = FunctionAnalyzer(func, owner, module).analyze()
+            mutated_in_scope: Set[str] = {
+                name for name in summary.mutates if name in in_scope
+            }
+            for name in sorted(mutated_in_scope - set(declared)):
+                yield self.diagnostic(
+                    ctx,
+                    func,
+                    f"'{qualname}' mutates argument '{name}' in place "
+                    f"but its docstring does not declare "
+                    f"':mutates {name}:'",
+                )
+            param_names = set(summary.params)
+            for name in sorted(declared):
+                if name not in param_names:
+                    yield self.diagnostic(
+                        ctx,
+                        func,
+                        f"'{qualname}' declares ':mutates {name}:' but "
+                        f"has no parameter named '{name}'",
+                    )
+                elif name not in summary.mutates:
+                    yield self.diagnostic(
+                        ctx,
+                        func,
+                        f"'{qualname}' declares ':mutates {name}:' but "
+                        f"no in-place mutation of '{name}' was detected; "
+                        f"drop the stale contract",
+                    )
+
+    @staticmethod
+    def _contract_scope(func) -> List[str]:
+        """Parameter names whose annotations put them in contract scope."""
+        args = func.args
+        ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        in_scope: List[str] = []
+        for i, arg in enumerate(ordered):
+            if i == 0 and arg.arg in ("self", "cls"):
+                continue
+            names = set(annotation_names(arg.annotation))
+            if names & MUTATION_CONTRACT_TYPES:
+                in_scope.append(arg.arg)
+        return in_scope

@@ -1,0 +1,228 @@
+"""R10 — module-level mutable state must be manifest-registered and guarded.
+
+Weak-keyed caches (``engine_for``'s ``_ENGINES``), dataset caches, and
+rebindable module globals are exactly the state that turns into a data
+race when the parallel backend and the long-running service land.  The
+rule enforces three things:
+
+1. every module-level mutable binding in shipped code (a mutable
+   container, or any name rebound via ``global``) appears in the
+   ``SHARED_STATE`` manifest in :mod:`reprolint.config`;
+2. manifest-registered names are touched only inside their registered
+   guard helpers (module level — the definition site — is free);
+3. the manifest itself stays honest: entries naming a binding that no
+   longer exists in the file are reported.
+
+ALL_CAPS bindings that are *never* mutated from function scope (rule
+tables, dataset registries) are constants in spirit and stay exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from reprolint.config import SHARED_STATE, SRC_PREFIX
+from reprolint.diagnostics import Diagnostic
+from reprolint.engine import ModuleContext
+from reprolint.registry import Rule, rule
+
+__all__ = ["SharedStateRule"]
+
+_MUTABLE_CTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "WeakKeyDictionary",
+        "WeakValueDictionary",
+    }
+)
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "insert",
+        "extend",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "appendleft",
+    }
+)
+
+
+def _ctor_name(value: ast.expr) -> Optional[str]:
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return None
+
+
+def _is_mutable_value(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    return _ctor_name(value) in _MUTABLE_CTORS
+
+
+def _module_level_bindings(
+    tree: ast.Module,
+) -> Dict[str, Tuple[ast.stmt, bool]]:
+    """``{name: (defining stmt, value is a mutable container)}``."""
+    out: Dict[str, Tuple[ast.stmt, bool]] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out.setdefault(
+                        target.id, (stmt, _is_mutable_value(stmt.value))
+                    )
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            out.setdefault(
+                stmt.target.id, (stmt, _is_mutable_value(stmt.value))
+            )
+    return out
+
+
+def _functions_with_bodies(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Every def in the module (methods included), innermost name last."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(node, ast.FunctionDef):
+                yield node.name, node
+
+
+def _names_mutated_in_functions(tree: ast.Module) -> Set[str]:
+    """Module globals written from function scope (the race surface)."""
+    mutated: Set[str] = set()
+    for _name, func in _functions_with_bodies(tree):
+        local_globals: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                local_globals.update(node.names)
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in local_globals
+                    ):
+                        mutated.add(target.id)
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        mutated.add(target.value.id)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        mutated.add(target.value.id)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATING_METHODS and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    mutated.add(node.func.value.id)
+    return mutated
+
+
+@rule
+class SharedStateRule(Rule):
+    rule_id = "R10"
+    rule_name = "guarded-shared-state"
+    summary = (
+        "Module-level mutable state (caches, registries, rebindable "
+        "globals) must be registered in config.SHARED_STATE and touched "
+        "only by its guard helpers."
+    )
+    protects = (
+        "thread-safety precondition for the parallel backend and the "
+        "eccentricity service (ROADMAP)"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.is_under(SRC_PREFIX) or ctx.is_under("tools/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        manifest = SHARED_STATE.get(ctx.path, {})
+        bindings = _module_level_bindings(ctx.tree)
+        mutated = _names_mutated_in_functions(ctx.tree)
+
+        # 1. unregistered shared state
+        for name, (stmt, is_mutable) in sorted(bindings.items()):
+            if name in manifest:
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends are interpreter conventions
+            container_state = is_mutable and (
+                not name.isupper() or name in mutated
+            )
+            if container_state or name in mutated:
+                yield self.diagnostic(
+                    ctx,
+                    stmt,
+                    f"module-level mutable state '{name}' is not "
+                    f"registered in config.SHARED_STATE; register it "
+                    f"with its guard helpers (or make it immutable)",
+                )
+
+        # 2. manifest hygiene: stale entries
+        for name in sorted(manifest):
+            if name not in bindings:
+                yield Diagnostic(
+                    rule_id=self.rule_id,
+                    rule_name=self.rule_name,
+                    path=ctx.path,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"config.SHARED_STATE registers '{name}' for this "
+                        f"module, but no such module-level binding exists; "
+                        f"update the manifest"
+                    ),
+                )
+
+        # 3. accessor confinement
+        for name, accessors in manifest.items():
+            if name not in bindings:
+                continue
+            allowed = set(accessors)
+            for func_name, func in _functions_with_bodies(ctx.tree):
+                if func_name in allowed:
+                    continue
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Name) and node.id == name:
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"shared state '{name}' accessed outside its "
+                            f"guard helpers ({', '.join(accessors)}); "
+                            f"route the access through them",
+                        )
+                        break  # one diagnostic per function is enough

@@ -1,4 +1,4 @@
-"""Suppression-comment parsing.
+"""Suppression-comment parsing and bookkeeping.
 
 Two escape hatches, mirroring common linter conventions:
 
@@ -8,66 +8,157 @@ Two escape hatches, mirroring common linter conventions:
 * file-level — ``# reprolint: disable-file=R4`` anywhere in the module,
   silencing that rule for the entire file.
 
+Comments are located with :mod:`tokenize`, so suppression-shaped text
+inside string literals (rule-fixture sources in tests, docs) is ignored
+— only real comments count.
+
 Suppressions are deliberately loud in the source: grep for ``reprolint:``
-to audit every waiver in the repository.
+to audit every waiver in the repository.  Two meta-checks keep that
+inventory honest:
+
+* the index records which entries actually matched a diagnostic, so the
+  engine can report *unused* suppressions (``W1``) once rules evolve;
+* text after the code list is the *justification*; rules listed in
+  ``config.JUSTIFICATION_REQUIRED`` refuse unexplained waivers (``W2``).
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, Set
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["SuppressionEntry", "SuppressionIndex", "parse_suppressions"]
 
-_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
-_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
-_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+_CODES = r"[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*"
+_LINE_RE = re.compile(rf"#\s*reprolint:\s*disable=({_CODES})\s*(.*)$")
+_FILE_RE = re.compile(rf"#\s*reprolint:\s*disable-file=({_CODES})\s*(.*)$")
 
 
 def _split_codes(raw: str) -> Set[str]:
     return {code.strip().lower() for code in raw.split(",") if code.strip()}
 
 
+@dataclass
+class SuppressionEntry:
+    """One ``# reprolint: disable[-file]=...`` comment."""
+
+    line: int
+    codes: FrozenSet[str]
+    justification: str
+    file_level: bool
+    comment_only: bool  # alone on its line ⇒ guards the statement below
+    used: Set[str] = field(default_factory=set)
+
+
 class SuppressionIndex:
     """Answers "is rule X suppressed at line N of this file?"."""
 
-    def __init__(
-        self,
-        line_level: Dict[int, FrozenSet[str]],
-        file_level: FrozenSet[str],
-        comment_only_lines: FrozenSet[int],
-    ) -> None:
-        self._line_level = line_level
-        self._file_level = file_level
-        self._comment_only = comment_only_lines
+    def __init__(self, entries: List[SuppressionEntry]) -> None:
+        self._entries = entries
+        self._file_level = [e for e in entries if e.file_level]
+        self._by_line: Dict[int, SuppressionEntry] = {
+            e.line: e for e in entries if not e.file_level
+        }
+
+    def entries(self) -> List[SuppressionEntry]:
+        return list(self._entries)
 
     def is_suppressed(self, line: int, rule_id: str, rule_name: str) -> bool:
         keys = {rule_id.lower(), rule_name.lower(), "all"}
-        if self._file_level & keys:
-            return True
-        direct = self._line_level.get(line, frozenset())
-        if direct & keys:
-            return True
+        for entry in self._file_level:
+            match = entry.codes & keys
+            if match:
+                entry.used |= match
+                return True
+        for candidate in (self._by_line.get(line),):
+            if candidate is not None:
+                match = candidate.codes & keys
+                if match:
+                    candidate.used |= match
+                    return True
         # A stand-alone suppression comment guards the statement below it.
-        above = line - 1
-        if above in self._comment_only:
-            return bool(self._line_level.get(above, frozenset()) & keys)
+        above = self._by_line.get(line - 1)
+        if above is not None and above.comment_only:
+            match = above.codes & keys
+            if match:
+                above.used |= match
+                return True
         return False
+
+    # -- meta checks ---------------------------------------------------
+    def unused(
+        self, active_keys: Set[str], known_keys: Set[str]
+    ) -> Iterator[Tuple[int, str, bool]]:
+        """``(line, code, known)`` for codes that suppressed nothing.
+
+        A code is judged only when its rule ran (``active_keys``); codes
+        naming no registered rule at all are reported with
+        ``known=False`` regardless, since they can never match.
+        """
+        for entry in self._entries:
+            for code in sorted(entry.codes):
+                if code in entry.used:
+                    continue
+                if code == "all":
+                    if not entry.used:
+                        yield entry.line, code, True
+                    continue
+                if code not in known_keys:
+                    yield entry.line, code, False
+                elif code in active_keys:
+                    yield entry.line, code, True
+
+    def missing_justification(
+        self, required: FrozenSet[str], active_keys: Set[str]
+    ) -> Iterator[Tuple[int, str]]:
+        """``(line, code)`` for justification-free waivers of strict rules."""
+        for entry in self._entries:
+            if entry.justification:
+                continue
+            for code in sorted(entry.codes & required):
+                if code in active_keys:
+                    yield entry.line, code
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token in ``source``."""
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source (the engine reports E0 separately): fall
+        # back to a plain line scan so suppressions still resolve.
+        out = [
+            (lineno, text.index("#"), text[text.index("#"):])
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
+    return out
 
 
 def parse_suppressions(source: str) -> SuppressionIndex:
     """Build the suppression index for one module's source text."""
-    line_level: Dict[int, FrozenSet[str]] = {}
-    file_level: Set[str] = set()
-    comment_only: Set[int] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    lines = source.splitlines()
+    entries: List[SuppressionEntry] = []
+    for lineno, col, text in _comment_tokens(source):
         file_match = _FILE_RE.search(text)
-        if file_match:
-            file_level |= _split_codes(file_match.group(1))
+        line_match = None if file_match else _LINE_RE.search(text)
+        match = file_match or line_match
+        if match is None:
             continue
-        line_match = _LINE_RE.search(text)
-        if line_match:
-            line_level[lineno] = frozenset(_split_codes(line_match.group(1)))
-            if _COMMENT_ONLY_RE.match(text):
-                comment_only.add(lineno)
-    return SuppressionIndex(line_level, frozenset(file_level), comment_only)
+        prefix = lines[lineno - 1][:col] if lineno - 1 < len(lines) else ""
+        entries.append(
+            SuppressionEntry(
+                line=lineno,
+                codes=frozenset(_split_codes(match.group(1))),
+                justification=match.group(2).strip(),
+                file_level=file_match is not None,
+                comment_only=not prefix.strip(),
+            )
+        )
+    return SuppressionIndex(entries)
