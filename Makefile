@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test test-sanitized tier-guard bench bench-smoke examples results clean lint typecheck check
+.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -48,12 +48,19 @@ check: test test-sanitized tier-guard lint typecheck
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick BFS-engine perf check (CI runs this and uploads both files):
+# Quick BFS-engine perf check (CI runs this and uploads the files):
 # seed kernel vs. top-down-only vs. direction-optimizing hybrid on the
-# generator suite; writes BENCH_bfs_engine.json plus the structured
-# run-record artifact BENCH_trace_ifecc.jsonl at the repo root.
+# generator suite, then the backend shootout (seed vs. hybrid vs.
+# process backend).  Writes BENCH_bfs_engine.json,
+# BENCH_parallel_backend.json, and the structured run-record artifact
+# BENCH_trace_ifecc.jsonl at the repo root.
 bench-smoke:
-	python benchmarks/bench_bfs_engine.py --smoke
+	python benchmarks/bench_bfs_engine.py --smoke --workers 1,2
+
+# Backend shootout only, at full scale (powerlaw-50k, sampled sources).
+# Honest on constrained hosts: the JSON records effective_cpus.
+bench-parallel:
+	python benchmarks/bench_bfs_engine.py --shootout-only --repeats 1
 
 examples:
 	python examples/quickstart.py

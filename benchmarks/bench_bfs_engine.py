@@ -1,4 +1,4 @@
-"""BFS engine benchmark — seed kernel vs. top-down-only vs. hybrid.
+"""BFS engine benchmark — seed kernel vs. hybrid vs. process backend.
 
 First point of the repo's perf trajectory: times the direction-optimizing
 pooled-workspace :class:`repro.graph.engine.BFSEngine` against (a) a
@@ -12,10 +12,19 @@ per-level direction decisions and edges-inspected counts, so Figure
 record of one traced IFECC run on the power-law graph — so every perf
 PR carries a replayable probe-by-probe account, not just aggregates.
 
+The *backend shootout* section additionally races the full-ED
+eccentricity sweep across backends — seed kernel, in-process hybrid
+engine, and the shared-memory process backend at several worker counts
+(:mod:`repro.parallel`) — and writes ``BENCH_parallel_backend.json``
+with speedup-vs-cores plus the host's ``effective_cpus``, asserting the
+eccentricities are bit-identical across every configuration.
+
 Run standalone::
 
     python benchmarks/bench_bfs_engine.py            # full suite (n >= 50k)
     python benchmarks/bench_bfs_engine.py --smoke    # CI-sized graphs
+    python benchmarks/bench_bfs_engine.py --smoke --shootout-only \
+        --workers 1,2                                # backend race only
 
 or via pytest (smoke-sized, asserts the shape claims)::
 
@@ -26,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,10 +55,18 @@ from repro.obs.trace import Stopwatch
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_bfs_engine.json"
 DEFAULT_TRACE_OUT = REPO_ROOT / "BENCH_trace_ifecc.jsonl"
+DEFAULT_PARALLEL_OUT = REPO_ROOT / "BENCH_parallel_backend.json"
 
 #: The aggregate-speedup claim the JSON must witness on the power-law
 #: graph (hybrid vs. seed kernel) in full mode.
 TARGET_SPEEDUP = 1.5
+
+#: Speedup the process backend targets at 4 workers vs. the hybrid
+#: engine — achievable only on hosts that actually expose >= 4 cores;
+#: the report records ``effective_cpus`` so a miss on a constrained box
+#: is distinguishable from a regression.
+PARALLEL_TARGET_SPEEDUP = 2.0
+PARALLEL_TARGET_WORKERS = 4
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +263,148 @@ def run_suite(
 
 
 # ----------------------------------------------------------------------
+# Backend shootout (seed vs hybrid vs process x workers)
+# ----------------------------------------------------------------------
+def _effective_cpus() -> int:
+    """Cores this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _shootout_sources(graph: Graph, count: Optional[int]) -> np.ndarray:
+    """Max-degree vertex + seeded distinct random sources (or all)."""
+    n = graph.num_vertices
+    if count is None or count >= n:
+        return np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    picks = rng.choice(n, size=count, replace=False).astype(np.int64)
+    picks[0] = graph.max_degree_vertex()
+    return np.unique(picks)
+
+
+def _seed_ecc_sweep(graph: Graph, sources: np.ndarray) -> np.ndarray:
+    """Full-ED over ``sources`` with the seed kernel (the PR-2 baseline)."""
+    ecc = np.empty(len(sources), dtype=np.int32)
+    for i, s in enumerate(sources):
+        dist = seed_bfs_distances(graph, int(s))
+        reached = dist[dist != UNREACHED]
+        ecc[i] = int(reached.max()) if len(reached) else 0
+    return ecc
+
+
+def run_shootout(
+    smoke: bool,
+    workers_list: Sequence[int],
+    num_sources: Optional[int],
+    repeats: int,
+    out_path: Path,
+) -> Optional[Dict[str, object]]:
+    """Race the ED sweep across backends; write the JSON scorecard.
+
+    ``num_sources=None`` sweeps every vertex (the true full ED).
+    Returns ``None`` (and writes nothing) where shared memory is
+    unavailable.
+    """
+    from repro.parallel.pool import TraversalPool
+    from repro.parallel.shm import shared_memory_available
+
+    if not shared_memory_available():  # pragma: no cover - exotic platform
+        print("[bench_parallel] shared_memory unavailable; skipping shootout")
+        return None
+
+    if smoke:
+        name, graph = "powerlaw-4k", barabasi_albert(4_000, 4, seed=7)
+    else:
+        name, graph = "powerlaw-50k", barabasi_albert(50_000, 4, seed=7)
+    sources = _shootout_sources(graph, num_sources)
+    print(
+        f"[bench_parallel] {name}: n={graph.num_vertices} "
+        f"m={graph.num_edges} sources={len(sources)} "
+        f"effective_cpus={_effective_cpus()}"
+    )
+
+    engine = BFSEngine(graph)
+    reference = engine.ecc_batch(sources).copy()
+
+    def time_config(run: Callable[[], np.ndarray]) -> Tuple[float, bool]:
+        """Best-of-``repeats`` seconds + bit-identity vs. the reference."""
+        best = float("inf")
+        identical = True
+        for _ in range(max(1, repeats)):
+            watch = Stopwatch()
+            ecc = run()
+            best = min(best, watch.elapsed())
+            identical = identical and np.array_equal(ecc, reference)
+        return best, identical
+
+    configs: List[Dict[str, object]] = []
+    seed_s, seed_ok = time_config(lambda: _seed_ecc_sweep(graph, sources))
+    configs.append(
+        {"config": "seed", "workers": 0, "seconds": seed_s,
+         "bit_identical": seed_ok}
+    )
+    print(f"  seed kernel      {seed_s:.4f}s")
+    hybrid_s, hybrid_ok = time_config(lambda: engine.ecc_batch(sources))
+    configs.append(
+        {"config": "hybrid", "workers": 0, "seconds": hybrid_s,
+         "bit_identical": hybrid_ok}
+    )
+    print(f"  hybrid engine    {hybrid_s:.4f}s")
+    for workers in workers_list:
+        pool = TraversalPool(graph, workers=workers)
+        try:
+            pool.eccentricities(sources[: min(16, len(sources))])  # warm-up
+            proc_s, proc_ok = time_config(
+                lambda: pool.eccentricities(sources)
+            )
+        finally:
+            pool.close()
+        configs.append(
+            {
+                "config": f"process x{workers}",
+                "workers": workers,
+                "seconds": proc_s,
+                "bit_identical": proc_ok,
+                "speedup_vs_hybrid": hybrid_s / proc_s if proc_s else 0.0,
+            }
+        )
+        print(
+            f"  process x{workers}       {proc_s:.4f}s "
+            f"({hybrid_s / proc_s:.2f}x vs hybrid)"
+        )
+
+    all_identical = all(bool(c["bit_identical"]) for c in configs)
+    best_speedup = max(
+        (float(c.get("speedup_vs_hybrid", 0.0)) for c in configs), default=0.0
+    )
+    report: Dict[str, object] = {
+        "schema": "bench_parallel_backend/v1",
+        "mode": "smoke" if smoke else "full",
+        "graph": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_sources": int(len(sources)),
+        "full_ed": bool(len(sources) == graph.num_vertices),
+        "repeats": repeats,
+        "effective_cpus": _effective_cpus(),
+        "target_speedup": PARALLEL_TARGET_SPEEDUP,
+        "target_workers": PARALLEL_TARGET_WORKERS,
+        "configs": configs,
+        "bit_identical": all_identical,
+        "best_speedup_vs_hybrid": best_speedup,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_parallel] wrote {out_path}")
+    if not all_identical:
+        raise AssertionError(
+            "backend shootout produced non-identical eccentricities"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
 # pytest entry point (smoke-sized, asserts the shape claims)
 # ----------------------------------------------------------------------
 def test_engine_beats_seed_kernel(benchmark) -> None:  # type: ignore[no-untyped-def]
@@ -278,6 +438,36 @@ def test_engine_beats_seed_kernel(benchmark) -> None:  # type: ignore[no-untyped
     assert len(rec.probe_events()) == rec.result["num_traversals"]
 
 
+def test_parallel_backend_shootout(benchmark) -> None:  # type: ignore[no-untyped-def]
+    """Process backend is bit-identical to the hybrid engine on the
+    smoke graph; the scorecard JSON lands at the repo root."""
+    import pytest
+
+    from repro.parallel.shm import shared_memory_available
+
+    if not shared_memory_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    report = benchmark.pedantic(
+        lambda: run_shootout(
+            smoke=True,
+            workers_list=[2],
+            num_sources=48,
+            repeats=1,
+            out_path=DEFAULT_PARALLEL_OUT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report is not None
+    assert report["bit_identical"] is True
+    assert report["effective_cpus"] >= 1
+    assert DEFAULT_PARALLEL_OUT.exists()
+    process_cfgs = [
+        c for c in report["configs"] if c["config"].startswith("process")
+    ]
+    assert process_cfgs and all(c["seconds"] > 0 for c in process_cfgs)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -293,17 +483,69 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--sources", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--shootout-only",
+        action="store_true",
+        help="skip the kernel suite, run only the backend shootout",
+    )
+    parser.add_argument(
+        "--no-shootout",
+        action="store_true",
+        help="skip the backend shootout",
+    )
+    parser.add_argument(
+        "--workers",
+        type=str,
+        default="1,2,4",
+        help="comma-separated worker counts for the shootout",
+    )
+    parser.add_argument(
+        "--parallel-out",
+        type=Path,
+        default=DEFAULT_PARALLEL_OUT,
+        help="shootout JSON path (default: BENCH_parallel_backend.json)",
+    )
+    parser.add_argument(
+        "--full-ed",
+        action="store_true",
+        help="shootout sweeps every vertex instead of a source sample",
+    )
     args = parser.parse_args(argv)
     num_sources = args.sources if args.sources else (3 if args.smoke else 8)
-    report = run_suite(args.smoke, num_sources, args.repeats, args.out)
-    speedup = report["aggregate"]["powerlaw_speedup_hybrid_vs_seed"]  # type: ignore[index]
-    if not args.smoke and speedup < TARGET_SPEEDUP:
-        print(
-            f"WARNING: hybrid speedup {speedup:.2f}x below the "
-            f"{TARGET_SPEEDUP}x target on the power-law graph"
+    status = 0
+    if not args.shootout_only:
+        report = run_suite(args.smoke, num_sources, args.repeats, args.out)
+        speedup = report["aggregate"]["powerlaw_speedup_hybrid_vs_seed"]  # type: ignore[index]
+        if not args.smoke and speedup < TARGET_SPEEDUP:
+            print(
+                f"WARNING: hybrid speedup {speedup:.2f}x below the "
+                f"{TARGET_SPEEDUP}x target on the power-law graph"
+            )
+            status = 1
+    if not args.no_shootout:
+        workers_list = [int(w) for w in args.workers.split(",") if w]
+        shootout_sources = (
+            None if args.full_ed else (48 if args.smoke else 512)
         )
-        return 1
-    return 0
+        shootout = run_shootout(
+            args.smoke,
+            workers_list,
+            shootout_sources,
+            args.repeats,
+            args.parallel_out,
+        )
+        if shootout is not None and not args.smoke:
+            best = float(shootout["best_speedup_vs_hybrid"])  # type: ignore[arg-type]
+            cpus = int(shootout["effective_cpus"])  # type: ignore[arg-type]
+            if best < PARALLEL_TARGET_SPEEDUP:
+                print(
+                    f"WARNING: process-backend speedup {best:.2f}x below "
+                    f"the {PARALLEL_TARGET_SPEEDUP}x target "
+                    f"(effective_cpus={cpus})"
+                )
+                if cpus >= PARALLEL_TARGET_WORKERS:
+                    status = 1
+    return status
 
 
 if __name__ == "__main__":

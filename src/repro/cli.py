@@ -98,13 +98,27 @@ def _run_traced(
     return result
 
 
+def _backend_config(args: argparse.Namespace) -> Dict[str, Any]:
+    """The ``backend``/``workers`` pair for run-record config headers."""
+    return {"backend": args.backend, "workers": args.workers}
+
+
 def _cmd_ecc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.lcc)
     result = _run_traced(
         args,
         graph,
-        {"command": "ecc", "references": args.references},
-        lambda: compute_eccentricities(graph, num_references=args.references),
+        {
+            "command": "ecc",
+            "references": args.references,
+            **_backend_config(args),
+        },
+        lambda: compute_eccentricities(
+            graph,
+            num_references=args.references,
+            backend=args.backend,
+            workers=args.workers,
+        ),
     )
     dist = distribution_from_eccentricities(result.eccentricities)
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
@@ -126,9 +140,18 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     result = _run_traced(
         args,
         graph,
-        {"command": "approx", "k": args.k, "estimator": args.estimator},
+        {
+            "command": "approx",
+            "k": args.k,
+            "estimator": args.estimator,
+            **_backend_config(args),
+        },
         lambda: approximate_eccentricities(
-            graph, k=args.k, estimator=args.estimator
+            graph,
+            k=args.k,
+            estimator=args.estimator,
+            backend=args.backend,
+            workers=args.workers,
         ),
     )
     resolved = int(np.count_nonzero(result.lower == result.upper))
@@ -153,8 +176,10 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
     result = _run_traced(
         args,
         graph,
-        {"command": "diameter"},
-        lambda: compute_eccentricities(graph),
+        {"command": "diameter", **_backend_config(args)},
+        lambda: compute_eccentricities(
+            graph, backend=args.backend, workers=args.workers
+        ),
     )
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
     print(
@@ -289,6 +314,24 @@ def build_parser() -> argparse.ArgumentParser:
             "computation; inspect it with `trace summarize PATH`",
         )
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("numpy", "process"),
+            default="numpy",
+            help="traversal backend for batched probes: in-process numpy "
+            "(default) or a shared-memory worker pool; results are "
+            "identical either way",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker-process count for --backend process "
+            "(default: all usable cores)",
+        )
+
     p_ecc = sub.add_parser("ecc", help="exact eccentricity distribution")
     add_graph_arg(p_ecc)
     p_ecc.add_argument(
@@ -297,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ecc.add_argument("-o", "--output", help="write eccentricities to file")
     add_trace_arg(p_ecc)
+    add_backend_args(p_ecc)
     p_ecc.set_defaults(func=_cmd_ecc)
 
     p_approx = sub.add_parser("approx", help="anytime kIFECC estimate")
@@ -312,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_approx.add_argument("-o", "--output", help="write estimates to file")
     add_trace_arg(p_approx)
+    add_backend_args(p_approx)
     p_approx.set_defaults(func=_cmd_approx)
 
     p_dia = sub.add_parser("diameter", help="exact radius and diameter")
@@ -322,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dia.add_argument("--seed", type=int, default=0)
     add_trace_arg(p_dia)
+    add_backend_args(p_dia)
     p_dia.set_defaults(func=_cmd_diameter)
 
     p_stats = sub.add_parser("stats", help="F1/F2 stratification statistics")

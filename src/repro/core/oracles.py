@@ -42,17 +42,23 @@ established.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
 from repro.counters import TraversalCounter
 from repro.core.reference import get_strategy
-from repro.errors import DisconnectedGraphError
+from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.engine import BFSEngine, engine_for
 
-__all__ = ["DistanceOracle", "BFSOracle"]
+if TYPE_CHECKING:  # runtime import is lazy (multiprocessing is heavy)
+    from repro.parallel.pool import TraversalPool
+
+__all__ = ["DistanceOracle", "BFSOracle", "BACKENDS"]
+
+#: The traversal backends a :class:`BFSOracle` can select.
+BACKENDS = ("numpy", "process")
 
 
 @runtime_checkable
@@ -137,6 +143,15 @@ class BFSOracle:
     per probed source, all on this graph, so per-run allocation would
     dominate at scale), while ``source_probe`` copies — its vector is
     retained by FFOs and territories.
+
+    ``backend`` selects how the *batched* entry points
+    (:meth:`ecc_all`, :meth:`distance_rows`) execute: ``"numpy"`` (the
+    default) loops the in-process engine, ``"process"`` fans the batch
+    across a :class:`repro.parallel.pool.TraversalPool` of ``workers``
+    processes.  Single probes (``source_probe``/``sweep_probe``) always
+    stay on the in-process engine — one BFS is cheaper than its IPC
+    round-trip — so the solver's sequential bound-tightening loop is
+    bit-identical under every backend by construction.
     """
 
     dtype = np.dtype(np.int32)
@@ -146,11 +161,79 @@ class BFSOracle:
     trace_kind = "bfs"
 
     def __init__(
-        self, graph: Graph, engine: Optional[BFSEngine] = None
+        self,
+        graph: Graph,
+        engine: Optional[BFSEngine] = None,
+        backend: str = "numpy",
+        workers: Optional[int] = None,
+        pool: Optional["TraversalPool"] = None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.graph = graph
         self.num_vertices = graph.num_vertices
         self.engine = engine if engine is not None else engine_for(graph)
+        self.backend = backend
+        self.workers = workers
+        self._pool = pool
+
+    @property
+    def pool(self) -> "TraversalPool":
+        """The worker pool backing batched dispatch (process backend only)."""
+        if self.backend != "process":
+            raise InvalidParameterError(
+                "pool is only available with backend='process'"
+            )
+        if self._pool is None or self._pool.closed:
+            from repro.parallel.pool import pool_for
+
+            self._pool = pool_for(self.graph, workers=self.workers)
+        return self._pool
+
+    # -- batched entry points ------------------------------------------
+    def ecc_all(
+        self,
+        sources: Optional[Sequence[int]] = None,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Eccentricity of every source (default: all vertices).
+
+        The naive full-ED sweep behind one call: the numpy backend
+        loops :meth:`BFSEngine.ecc_batch` in-process, the process
+        backend fans chunks across the pool.  Bit-identical either way.
+
+        :dtype ecc: int32
+        """
+        if self.backend == "process":
+            return self.pool.eccentricities(sources, counter=counter)
+        src = (
+            np.arange(self.num_vertices, dtype=np.int64)
+            if sources is None
+            else np.ascontiguousarray(sources, dtype=np.int64)
+        )
+        return self.engine.ecc_batch(src, counter=counter)
+
+    def distance_rows(
+        self,
+        sources: Sequence[int],
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Full distance vectors, one caller-owned row per source.
+
+        Used by reference scans that need every ``dist(z, .)`` — the
+        batched sibling of calling :meth:`source_probe` in a loop.
+
+        :dtype rows: int32
+        """
+        if self.backend == "process":
+            return self.pool.distance_rows(sources, counter=counter)
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        rows = np.empty((len(src), self.num_vertices), dtype=np.int32)
+        for i in range(len(src)):
+            rows[i, :] = self.engine.run(int(src[i]), counter=counter)
+        return rows
 
     def select_references(
         self, strategy: str, count: int, seed: int

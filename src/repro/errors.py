@@ -16,6 +16,7 @@ __all__ = [
     "DatasetNotFoundError",
     "BudgetExhaustedError",
     "SanitizerError",
+    "ParallelBackendError",
 ]
 
 
@@ -87,3 +88,14 @@ class BudgetExhaustedError(ReproError):
     def __init__(self, budget: float, message: str = "") -> None:
         self.budget = budget
         super().__init__(message or f"computation budget exhausted ({budget})")
+
+
+class ParallelBackendError(ReproError, RuntimeError):
+    """Raised by the multiprocessing traversal backend (:mod:`repro.parallel`).
+
+    Fires when the process backend cannot deliver a batch: shared memory
+    is unavailable on the platform, a worker process died mid-dispatch,
+    or a worker reported an exception (whose traceback is carried in the
+    message).  Also a :class:`RuntimeError` so generic infrastructure
+    guards catch it without importing this module.
+    """

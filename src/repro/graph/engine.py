@@ -398,6 +398,35 @@ bfs_distances` wrapper) must copy.
         return fresh.astype(np.int64, copy=False), len(arc_dst), cand[~found]
 
     # ------------------------------------------------------------------
+    # Batched eccentricities
+    # ------------------------------------------------------------------
+    def ecc_batch(
+        self,
+        sources: Sequence[int],
+        out: Optional[np.ndarray] = None,
+        counter: Optional["TraversalCounter"] = None,
+    ) -> np.ndarray:
+        """Eccentricity of every source, one pooled BFS each.
+
+        ``out[i]`` receives ``ecc(sources[i])`` (within the source's
+        component — the max level reached, matching :attr:`last_ecc`).
+        This is the unit of work the process backend
+        (:mod:`repro.parallel.pool`) ships to each worker, and the
+        single-process fallback for ``workers=1`` comparisons: results
+        are bit-identical either way because both run this loop.
+
+        :mutates out: ``out[i]`` is overwritten with ``ecc(sources[i])``.
+        :dtype out: int32
+        """
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        if out is None:
+            out = np.empty(len(src), dtype=np.int32)
+        for i in range(len(src)):
+            self.run(int(src[i]), counter=counter)
+            out[i] = self.last_ecc
+        return out
+
+    # ------------------------------------------------------------------
     # Multi-source BFS with owner propagation
     # ------------------------------------------------------------------
     def run_multi(

@@ -36,12 +36,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import sanitize
-from repro.errors import InvalidVertexError
+from repro.errors import InvalidParameterError, InvalidVertexError
 from repro.graph.csr import Graph
 from repro.graph.engine import gather_csr_arcs
 from repro.graph.traversal import TraversalCounter
 
-__all__ = ["multi_source_distances", "msbfs_eccentricities"]
+__all__ = [
+    "multi_source_distances",
+    "msbfs_eccentricities",
+    "lane_batch_distances",
+]
 
 _LANES = 64
 
@@ -173,16 +177,49 @@ def _batch_impl(
     return dist
 
 
+def lane_batch_distances(
+    graph: Graph,
+    sources: Sequence[int],
+    counter: Optional[TraversalCounter] = None,
+) -> np.ndarray:
+    """One bit-parallel sweep for up to 64 sources — a freshly-owned matrix.
+
+    The public unit of MS-BFS work: exactly one lane group, using the
+    graph's pooled workspace.  This is what each process-backend worker
+    (:mod:`repro.parallel.pool`) runs per ``msbfs_*`` task — workers own
+    their process-local workspace cache, so lane groups parallelise
+    without sharing bitmaps.
+
+    :dtype src: int64
+    :dtype dist: int32
+    """
+    n = graph.num_vertices
+    src = np.ascontiguousarray(sources, dtype=np.int64)
+    if len(src) > _LANES:
+        raise InvalidParameterError(
+            f"a lane batch holds at most {_LANES} sources, got {len(src)}"
+        )
+    if src.size and (src.min() < 0 or src.max() >= n):
+        bad = src[(src < 0) | (src >= n)][0]
+        raise InvalidVertexError(int(bad), n)
+    return _batch_distances(graph, src, counter, _workspace_for(graph))
+
+
 def multi_source_distances(
     graph: Graph,
     sources: Sequence[int],
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Full distance vectors for many sources via MS-BFS.
 
     Returns an ``(len(sources), n)`` matrix; row ``i`` equals
     ``bfs_distances(graph, sources[i])``.  Sources are processed in
-    batches of 64 lanes.
+    batches of 64 lanes; with ``backend="process"`` each lane group is
+    one worker task on the graph's :func:`repro.parallel.pool.pool_for`
+    pool (bit-identical — lane packing does not depend on which process
+    sweeps).
 
     :dtype src: int64
     """
@@ -191,6 +228,12 @@ def multi_source_distances(
     if src.size and (src.min() < 0 or src.max() >= n):
         bad = src[(src < 0) | (src >= n)][0]
         raise InvalidVertexError(int(bad), n)
+    if backend == "process":
+        from repro.parallel.pool import pool_for
+
+        return pool_for(graph, workers=workers).msbfs_distance_rows(
+            src, counter=counter
+        )
     work = _workspace_for(graph)
     out = np.empty((len(src), n), dtype=np.int32)
     for start in range(0, len(src), _LANES):
@@ -204,16 +247,27 @@ def multi_source_distances(
 def msbfs_eccentricities(
     graph: Graph,
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """The naive exact ED computed with MS-BFS batches.
 
     Same quadratic work as :func:`repro.baselines.naive`, but each sweep
     serves 64 sources — the fair "fast naive" baseline of [35].
-    Eccentricities are taken within components.
+    Eccentricities are taken within components.  ``backend="process"``
+    ships each lane group to a worker, which reduces its 64 rows to
+    eccentricities before replying — ``O(k)`` ints cross the boundary
+    instead of ``O(k * n)``.
 
     :dtype ecc: int32
     """
     n = graph.num_vertices
+    if backend == "process":
+        from repro.parallel.pool import pool_for
+
+        return pool_for(graph, workers=workers).msbfs_eccentricities(
+            counter=counter
+        )
     ecc = np.zeros(n, dtype=np.int32)
     work = _workspace_for(graph)
     for start in range(0, n, _LANES):

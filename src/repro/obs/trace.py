@@ -77,7 +77,10 @@ __all__ = [
 Event = Dict[str, Any]
 
 #: Wall-clock keys — the only nondeterministic part of an event.
-TIMING_KEYS = ("t", "t0", "dur")
+#: ``worker_seconds`` is the per-worker timing map on ``parallel.batch``
+#: spans (:mod:`repro.parallel.pool`); like ``dur`` it varies run to
+#: run while everything else on the span is deterministic.
+TIMING_KEYS = ("t", "t0", "dur", "worker_seconds")
 
 
 class Sink:

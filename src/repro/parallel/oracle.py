@@ -1,0 +1,59 @@
+"""``ParallelBFSOracle`` — the process-backed unweighted oracle.
+
+A thin, explicit face over :class:`repro.core.oracles.BFSOracle` with
+``backend="process"`` pinned: construct it (or pass
+``backend="process"`` to any solver constructor) and every *batched*
+traversal — :meth:`~repro.core.oracles.BFSOracle.ecc_all` full-ED
+sweeps, :meth:`~repro.core.oracles.BFSOracle.distance_rows` reference
+scans, the MS-BFS lane groups — fans out across the per-graph
+:class:`repro.parallel.pool.TraversalPool`.
+
+``source_probe`` and ``sweep_probe`` are inherited *unchanged*: one BFS
+costs less than the IPC round-trip that would ship its result back, so
+the solver's sequential bound-tightening loop (whose probes depend on
+each other through the bound state) always runs on the in-process
+engine.  That asymmetry is what makes bit-identity trivial — the
+sequential path is literally the same code, and the batched path runs
+the same kernel per source with chunking that never reorders outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.oracles import BFSOracle
+from repro.graph.csr import Graph
+from repro.graph.engine import BFSEngine
+
+__all__ = ["ParallelBFSOracle"]
+
+
+class ParallelBFSOracle(BFSOracle):
+    """A :class:`BFSOracle` whose batched probes run on worker processes.
+
+    Parameters
+    ----------
+    graph:
+        The immutable CSR graph.
+    workers:
+        Worker-process count for batched dispatch; ``None`` uses every
+        usable core (see :func:`repro.parallel.pool.resolve_workers`).
+    engine:
+        Optional pre-built in-process engine for the sequential probes.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: Optional[int] = None,
+        engine: Optional[BFSEngine] = None,
+    ) -> None:
+        super().__init__(
+            graph, engine=engine, backend="process", workers=workers
+        )
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; pool rebuilds on demand)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None

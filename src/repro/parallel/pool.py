@@ -1,0 +1,657 @@
+"""Persistent per-graph worker pool for batched traversal dispatch.
+
+This is the engine room of the ``backend="process"`` seam: a
+:class:`TraversalPool` owns ``W`` long-lived worker processes that each
+attach the shared-memory CSR published by :mod:`repro.parallel.shm` and
+build one pooled :class:`repro.graph.engine.BFSEngine` at startup (the
+warm-up), so every subsequent batch pays only task pickling — never
+graph transfer, never workspace allocation.
+
+Dispatch protocol
+-----------------
+Batched entry points (:meth:`TraversalPool.eccentricities`,
+:meth:`~TraversalPool.distance_rows`, the MS-BFS lane-group variants)
+split their sources into contiguous chunks, write-target them into one
+shared *result* segment, and enqueue ``(kind, task_id, sources, out,
+start)`` tuples.  Workers fill their slice of the result segment
+directly — gathering is by construction ordered, the parent never
+reassembles out-of-order pickles — and reply with their
+:class:`repro.counters.TraversalCounter` totals plus wall-clock
+seconds.  The parent merges the totals into the caller's counter and
+emits one ``parallel.batch`` obs span per dispatch carrying chunk
+sizes and per-worker timings.
+
+Results are bit-identical to the in-process numpy engine: workers run
+the very same :class:`BFSEngine` kernel on the very same frozen CSR
+bytes, and chunking never reorders the per-source outputs.
+
+Lifecycle
+---------
+Pools are cached weakly per graph (:func:`pool_for`, mirroring
+``engine_for``) and torn down on four paths: explicit :meth:`close`,
+garbage collection of the pool (a ``weakref.finalize``), interpreter
+exit (``atexit`` → :func:`shutdown_pools`), and parent death (workers
+are daemons; they also translate ``SIGTERM`` into a clean
+``SystemExit`` so their ``finally`` blocks close attached segments).
+Segment names created here are additionally covered by the stdlib
+resource tracker, so even a hard-killed parent leaks no shared memory.
+
+Single probes never cross the process boundary — one BFS is far
+cheaper than its IPC round-trip — which is why the solver's sequential
+sweep path stays on the in-process engine (see
+:class:`repro.parallel.oracle.ParallelBFSOracle`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+import threading
+import weakref
+from types import FrameType
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.counters import TraversalCounter
+from repro.errors import (
+    InvalidParameterError,
+    InvalidVertexError,
+    ParallelBackendError,
+)
+from repro.graph.csr import Graph
+from repro.obs.trace import Stopwatch, get_tracer
+from repro.parallel import shm as shm_mod
+
+__all__ = [
+    "TraversalPool",
+    "pool_for",
+    "shutdown_pools",
+    "resolve_workers",
+    "DEFAULT_CHUNKS_PER_WORKER",
+]
+
+#: Load-balancing granularity: each dispatch is split into about this
+#: many chunks per worker, so a straggler chunk idles at most ~1/4 of
+#: one worker's share instead of half the batch.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: MS-BFS lane width — lane-group tasks are cut to this size so each
+#: task is exactly one bit-parallel sweep.
+_LANES = 64
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 0.25
+
+#: Seconds to wait for worker startup/ready handshakes.
+_STARTUP_TIMEOUT = 60.0
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` request: ``None`` means all usable cores."""
+    if workers is None:
+        try:
+            available = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            available = os.cpu_count() or 1
+        return max(1, available)
+    if int(workers) < 1:
+        raise InvalidParameterError("workers must be >= 1")
+    return int(workers)
+
+
+def _mp_context() -> Any:
+    """Fork where available (cheap, COW pages), spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _counter_totals(counter: TraversalCounter) -> Dict[str, int]:
+    """The mergeable scalar fields of a worker-side counter."""
+    return {
+        "bfs_runs": counter.bfs_runs,
+        "edges_scanned": counter.edges_scanned,
+        "edges_inspected": counter.edges_inspected,
+        "vertices_visited": counter.vertices_visited,
+        "relaxations": counter.relaxations,
+    }
+
+
+def _sigterm_to_exit(signum: int, frame: Optional[FrameType]) -> None:
+    """Worker SIGTERM handler: unwind via ``finally`` blocks, not abort."""
+    raise SystemExit(0)
+
+
+def _fill_distance_rows(
+    engine: Any,
+    sources: np.ndarray,
+    rows: np.ndarray,
+    counter: TraversalCounter,
+) -> None:
+    """One full BFS per source, written into ``rows`` (worker "dist" task).
+
+    :mutates rows: row ``i`` is overwritten with ``dist(sources[i], .)``.
+    """
+    for i in range(len(sources)):
+        rows[i, :] = engine.run(int(sources[i]), counter=counter)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+def _worker_main(
+    spec: "shm_mod.SharedGraphSpec",
+    task_queue: Any,
+    result_queue: Any,
+    worker_id: int,
+) -> None:
+    """One worker: attach the shared graph, warm an engine, serve tasks.
+
+    All state is function-local on purpose — a worker is a loop over
+    its queues, not a module with shared globals.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    # A forked worker inherits the parent's active tracer (and possibly
+    # its memory sink); traversal spans inside workers are aggregated
+    # into the parent's parallel.batch span instead.
+    from repro.graph.engine import BFSEngine
+    from repro.graph.msbfs import lane_batch_distances
+    from repro.obs.trace import Tracer, set_tracer
+
+    set_tracer(Tracer())
+    graph, graph_segment = shm_mod.attach(spec)
+    engine = BFSEngine(graph)
+    out_segment: Optional[Any] = None
+    out_name = ""
+    try:
+        result_queue.put(("ready", worker_id, os.getpid()))
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            kind, task_id, sources, out_ref, start = task
+            try:
+                watch = Stopwatch()
+                counter = TraversalCounter()
+                name, array_spec = out_ref
+                if name != out_name:
+                    if out_segment is not None:
+                        out_segment.close()
+                    out_segment = shm_mod._require_shared_memory().SharedMemory(
+                        name=name
+                    )
+                    out_name = name
+                out = shm_mod.attach_array(out_segment, array_spec)
+                if kind == "ecc":
+                    engine.ecc_batch(
+                        sources,
+                        out=out[start: start + len(sources)],
+                        counter=counter,
+                    )
+                elif kind == "dist":
+                    _fill_distance_rows(
+                        engine,
+                        sources,
+                        out[start: start + len(sources)],
+                        counter,
+                    )
+                elif kind == "msbfs_dist":
+                    out[start: start + len(sources)] = lane_batch_distances(
+                        graph, sources, counter=counter
+                    )
+                elif kind == "msbfs_ecc":
+                    dist = lane_batch_distances(
+                        graph, sources, counter=counter
+                    )
+                    np.max(
+                        np.where(dist >= 0, dist, -1),
+                        axis=1,
+                        out=out[start: start + len(sources)],
+                    )
+                else:
+                    raise ParallelBackendError(f"unknown task kind {kind!r}")
+                result_queue.put(
+                    (
+                        "done",
+                        task_id,
+                        worker_id,
+                        _counter_totals(counter),
+                        watch.elapsed(),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                import traceback
+
+                result_queue.put(
+                    (
+                        "error",
+                        task_id,
+                        worker_id,
+                        f"{type(exc).__name__}: {exc}\n"
+                        + traceback.format_exc(),
+                    )
+                )
+    finally:
+        if out_segment is not None:
+            out_segment.close()
+        graph_segment.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side pool
+# ---------------------------------------------------------------------------
+class _PoolResources:
+    """Everything teardown must release, detached from the pool object.
+
+    ``weakref.finalize`` must not hold the pool itself (that would pin
+    it); it holds this bag instead, so GC-of-the-pool, ``close()`` and
+    ``atexit`` all funnel into one idempotent :meth:`release`.
+    """
+
+    __slots__ = (
+        "processes",
+        "task_queue",
+        "result_queue",
+        "graph_share",
+        "out_segment",
+        "released",
+    )
+
+    def __init__(self) -> None:
+        self.processes: List[Any] = []
+        self.task_queue: Optional[Any] = None
+        self.result_queue: Optional[Any] = None
+        self.graph_share: Optional[shm_mod.SharedGraph] = None
+        self.out_segment: Optional[Any] = None
+        self.released = False
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        if self.task_queue is not None:
+            for _ in self.processes:
+                try:
+                    self.task_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - closing
+                    break
+        for proc in self.processes:
+            proc.join(timeout=5.0)
+        for proc in self.processes:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        if self.result_queue is not None:
+            self.result_queue.close()
+        if self.out_segment is not None:
+            self.out_segment.close()
+            try:
+                self.out_segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self.out_segment = None
+        if self.graph_share is not None:
+            self.graph_share.unlink()
+            self.graph_share = None
+
+
+def _release_resources(resources: _PoolResources) -> None:
+    resources.release()
+
+
+class TraversalPool:
+    """``W`` warm worker processes bound to one shared-memory graph.
+
+    Parameters
+    ----------
+    graph:
+        The (immutable) graph to publish.  The pool does **not** retain
+        a reference — workers hold their own shared-memory views — so a
+        pool in the weak registry never pins its graph alive.
+    workers:
+        Process count; ``None`` uses every usable core.
+    chunks_per_worker:
+        Dispatch granularity (see :data:`DEFAULT_CHUNKS_PER_WORKER`).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: Optional[int] = None,
+        chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    ) -> None:
+        if not shm_mod.shared_memory_available():  # pragma: no cover
+            raise ParallelBackendError(
+                "multiprocessing.shared_memory is unavailable; "
+                "use backend='numpy'"
+            )
+        if chunks_per_worker < 1:
+            raise InvalidParameterError("chunks_per_worker must be >= 1")
+        self.workers = resolve_workers(workers)
+        self.chunks_per_worker = int(chunks_per_worker)
+        self.num_vertices = graph.num_vertices
+        self._task_counter = 0
+        self._resources = _PoolResources()
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._resources
+        )
+        ctx = _mp_context()
+        self._resources.graph_share = shm_mod.SharedGraph.publish(graph)
+        self._resources.task_queue = ctx.SimpleQueue()
+        self._resources.result_queue = ctx.Queue()
+        try:
+            for worker_id in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self._resources.graph_share.spec,
+                        self._resources.task_queue,
+                        self._resources.result_queue,
+                        worker_id,
+                    ),
+                    daemon=True,
+                    name=f"repro-traversal-{worker_id}",
+                )
+                proc.start()
+                self._resources.processes.append(proc)
+            self._await_ready()
+        except BaseException:
+            self._finalizer()
+            raise
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been torn down."""
+        return self._resources.released
+
+    def close(self) -> None:
+        """Shut workers down and release every shared segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "TraversalPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _await_ready(self) -> None:
+        """Block until every worker has built its engine (the warm-up)."""
+        pending = set(range(self.workers))
+        watch = Stopwatch()
+        while pending:
+            message = self._next_message(_STARTUP_TIMEOUT - watch.elapsed())
+            if message[0] != "ready":  # pragma: no cover - defensive
+                raise ParallelBackendError(
+                    f"unexpected startup message {message[0]!r}"
+                )
+            pending.discard(message[1])
+
+    def _next_message(self, timeout: float) -> Tuple[Any, ...]:
+        """One result-queue message, with worker-liveness supervision."""
+        import queue as queue_mod
+
+        result_queue = self._resources.result_queue
+        assert result_queue is not None
+        watch = Stopwatch()
+        while True:
+            try:
+                return tuple(result_queue.get(timeout=_POLL_SECONDS))
+            except queue_mod.Empty:
+                dead = [
+                    proc
+                    for proc in self._resources.processes
+                    if not proc.is_alive()
+                ]
+                if dead:
+                    codes = ", ".join(
+                        f"{proc.name}={proc.exitcode}" for proc in dead
+                    )
+                    self.close()
+                    raise ParallelBackendError(
+                        f"worker process(es) died mid-dispatch: {codes}"
+                    ) from None
+                if watch.elapsed() > timeout:
+                    self.close()
+                    raise ParallelBackendError(
+                        "timed out waiting for worker results"
+                    ) from None
+
+    # -- dispatch -------------------------------------------------------
+    def _check_sources(self, sources: Sequence[int]) -> np.ndarray:
+        """Validated int64 source array.
+
+        :dtype src: int64
+        """
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        if src.ndim != 1:
+            raise InvalidParameterError("sources must be one-dimensional")
+        if src.size and (src.min() < 0 or src.max() >= self.num_vertices):
+            bad = src[(src < 0) | (src >= self.num_vertices)][0]
+            raise InvalidVertexError(int(bad), self.num_vertices)
+        return src
+
+    def _chunk_bounds(self, total: int, lane_groups: bool) -> List[int]:
+        """Chunk start offsets for ``total`` sources (ascending, from 0)."""
+        if lane_groups:
+            size = _LANES
+        else:
+            size = max(
+                1, -(-total // (self.workers * self.chunks_per_worker))
+            )
+        return list(range(0, total, size))
+
+    def _ensure_out(self, nbytes: int) -> Any:
+        """The shared result segment, grown geometrically on demand."""
+        out = self._resources.out_segment
+        if out is not None and out.size >= nbytes:
+            return out
+        if out is not None:
+            out.close()
+            try:
+                out.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        grown = max(nbytes, (out.size * 2) if out is not None else nbytes)
+        fresh = shm_mod.create_segment(grown)
+        self._resources.out_segment = fresh
+        return fresh
+
+    def _dispatch(
+        self,
+        kind: str,
+        src: np.ndarray,
+        row_shape: Tuple[int, ...],
+        dtype: str,
+        counter: Optional[TraversalCounter],
+        lane_groups: bool = False,
+    ) -> np.ndarray:
+        """Fan one batch out; return a caller-owned result array.
+
+        ``row_shape`` is the per-source result shape: ``()`` for one
+        eccentricity per source, ``(n,)`` for a distance row.
+        """
+        if self.closed:
+            raise ParallelBackendError("pool is closed")
+        shape = (len(src),) + row_shape
+        result = np.empty(shape, dtype=np.dtype(dtype))
+        if len(src) == 0:
+            return result
+        out_spec = shm_mod.ArraySpec(
+            key="out", offset=0, shape=shape, dtype=dtype
+        )
+        segment = self._ensure_out(result.nbytes)
+        out_ref = (segment.name, out_spec)
+        starts = self._chunk_bounds(len(src), lane_groups)
+        chunk = starts[1] if len(starts) > 1 else len(src)
+        task_queue = self._resources.task_queue
+        assert task_queue is not None
+        with get_tracer().span(
+            "parallel.batch",
+            kind=kind,
+            backend="process",
+            workers=self.workers,
+            num_sources=int(len(src)),
+            chunks=[int(min(len(src), s + chunk) - s) for s in starts],
+        ) as span:
+            for task_id, start in enumerate(starts):
+                task_queue.put(
+                    (kind, task_id, src[start: start + chunk], out_ref, start)
+                )
+            failures: List[str] = []
+            worker_seconds: Dict[str, float] = {}
+            merged = TraversalCounter()
+            for _ in starts:
+                message = self._next_message(timeout=3600.0)
+                if message[0] == "error":
+                    failures.append(f"worker {message[2]}: {message[3]}")
+                elif message[0] == "done":
+                    _tag, _task, worker_id, totals, seconds = message
+                    merged.merge(TraversalCounter(**totals))
+                    key = f"w{worker_id}"
+                    worker_seconds[key] = (
+                        worker_seconds.get(key, 0.0) + seconds
+                    )
+                else:  # pragma: no cover - defensive
+                    failures.append(f"unexpected message {message[0]!r}")
+            if failures:
+                raise ParallelBackendError(
+                    "parallel dispatch failed:\n" + "\n".join(failures)
+                )
+            if counter is not None:
+                counter.merge(merged)
+            view = shm_mod.attach_array(segment, out_spec)
+            result[...] = view
+            span.set(
+                tasks=len(starts),
+                traversals=merged.bfs_runs,
+                edges_scanned=merged.edges_scanned,
+                edges_inspected=merged.edges_inspected,
+                worker_seconds=worker_seconds,
+            )
+        return result
+
+    # -- batched entry points ------------------------------------------
+    def eccentricities(
+        self,
+        sources: Optional[Sequence[int]] = None,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Per-source eccentricities (within components), fanned out.
+
+        ``sources=None`` means every vertex — the naive full-ED sweep.
+        Bit-identical to running the in-process engine per source.
+
+        :dtype ecc: int32
+        """
+        src = self._check_sources(
+            np.arange(self.num_vertices, dtype=np.int64)
+            if sources is None
+            else sources
+        )
+        return self._dispatch("ecc", src, (), "int32", counter)
+
+    def distance_rows(
+        self,
+        sources: Sequence[int],
+        counter: Optional[TraversalCounter] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Full distance vectors, one row per source.
+
+        With ``out`` given (a preallocated ``(len(sources), n)`` int32
+        array) the rows are copied into it and it is returned.
+
+        :mutates out: overwritten with the gathered distance rows.
+        :dtype rows: int32
+        """
+        src = self._check_sources(sources)
+        rows = self._dispatch(
+            "dist", src, (self.num_vertices,), "int32", counter
+        )
+        if out is not None:
+            out[...] = rows
+            return out
+        return rows
+
+    def msbfs_distance_rows(
+        self,
+        sources: Sequence[int],
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """MS-BFS distance matrix; each 64-lane group is one task.
+
+        :dtype rows: int32
+        """
+        src = self._check_sources(sources)
+        return self._dispatch(
+            "msbfs_dist",
+            src,
+            (self.num_vertices,),
+            "int32",
+            counter,
+            lane_groups=True,
+        )
+
+    def msbfs_eccentricities(
+        self,
+        sources: Optional[Sequence[int]] = None,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Per-source eccentricities via worker-side MS-BFS reduction.
+
+        :dtype ecc: int32
+        """
+        src = self._check_sources(
+            np.arange(self.num_vertices, dtype=np.int64)
+            if sources is None
+            else sources
+        )
+        return self._dispatch(
+            "msbfs_ecc", src, (), "int32", counter, lane_groups=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-graph registry (mirrors engine_for / _workspace_for)
+# ---------------------------------------------------------------------------
+_POOLS: "weakref.WeakKeyDictionary[Graph, TraversalPool]" = (
+    weakref.WeakKeyDictionary()
+)
+_POOLS_LOCK = threading.Lock()
+
+
+def pool_for(graph: Graph, workers: Optional[int] = None) -> TraversalPool:
+    """The cached :class:`TraversalPool` of ``graph`` (created on demand).
+
+    A cached pool is reused when ``workers`` is ``None`` or matches its
+    size; a mismatching request tears the old pool down and builds a
+    fresh one (pools are heavy — two differently-sized pools per graph
+    would double every workspace).
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(graph)
+        if pool is not None and not pool.closed:
+            if workers is None or pool.workers == resolve_workers(workers):
+                return pool
+            pool.close()
+        pool = TraversalPool(graph, workers=workers)
+        _POOLS[graph] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached pool (tests, atexit)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,341 @@
+"""Zero-copy graph publication over ``multiprocessing.shared_memory``.
+
+The process backend (:mod:`repro.parallel.pool`) fans batched traversals
+out across worker processes.  Shipping a 50M-edge CSR through a pickle
+per worker would dwarf the traversals themselves, so the graph crosses
+the process boundary exactly once, as named shared memory:
+
+* the parent *publishes* the graph — every CSR array is copied
+  back-to-back into one :class:`multiprocessing.shared_memory.\
+SharedMemory` segment, described by a small picklable
+  :class:`SharedGraphSpec` (segment name + per-array offsets, shapes,
+  dtypes);
+* each worker *attaches* — it maps the same segment and rebuilds the
+  graph object as read-only numpy views over the mapped buffer.  No
+  bytes are copied, no validation re-runs, and the views are frozen
+  with the same :func:`repro.sanitize.freeze` labels the constructors
+  use, so workers inherit the full CSR-immutability discipline
+  (reprolint R1, Theorem 4.5's shared ``O(m + n)`` layout).
+
+All three graph flavours publish the same way: :class:`~repro.graph.\
+csr.Graph` (``indptr``/``indices``/``degrees``), :class:`~repro.\
+weighted.graph.WeightedGraph` (plus ``weights``) and :class:`~repro.\
+directed.graph.DirectedGraph` (forward + reverse CSR pairs).  Only the
+unweighted oracle currently dispatches batches, but the weighted and
+directed layouts keep the seam ready for their backends.
+
+Attached segments are *borrowed*: the worker closes its handle on
+shutdown, and only the publishing parent ever unlinks the name.  The
+module guards every entry point behind :func:`shared_memory_available`
+so platforms without POSIX/Windows shared memory degrade to a clean
+error instead of an import crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import sanitize
+from repro.errors import ParallelBackendError
+from repro.graph.csr import Graph
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "shared_memory_available",
+    "ArraySpec",
+    "SharedGraphSpec",
+    "SharedGraph",
+    "attach",
+    "attach_array",
+    "create_segment",
+]
+
+#: Byte alignment of each array inside the shared segment; numpy only
+#: needs itemsize alignment but 64 keeps rows cache-line clean.
+_ALIGN = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works on this platform.
+
+    The process backend (and its test/benchmark suites) gate on this so
+    unsupported platforms skip cleanly instead of crashing mid-import.
+    """
+    return _shared_memory is not None
+
+
+def _require_shared_memory() -> Any:
+    if _shared_memory is None:  # pragma: no cover - platform-specific
+        raise ParallelBackendError(
+            "multiprocessing.shared_memory is unavailable on this "
+            "platform; use backend='numpy'"
+        )
+    return _shared_memory
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a shared segment (picklable)."""
+
+    key: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Everything a worker needs to rebuild a graph from shared memory.
+
+    ``kind`` selects the rebuild recipe (``"graph"``, ``"weighted"``,
+    ``"directed"``); ``arrays`` locates each frozen CSR array inside the
+    segment called ``segment``.
+    """
+
+    segment: str
+    kind: str
+    num_vertices: int
+    arrays: Tuple[ArraySpec, ...]
+
+
+def _pad(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def create_segment(nbytes: int) -> Any:
+    """A fresh auto-named shared segment of at least ``nbytes`` bytes."""
+    shm = _require_shared_memory()
+    return shm.SharedMemory(create=True, size=max(1, int(nbytes)))
+
+
+def attach_array(segment: Any, spec: ArraySpec) -> np.ndarray:
+    """A writable numpy view of ``spec`` inside an attached ``segment``.
+
+    The view aliases the mapped buffer directly — mutating it mutates
+    the shared bytes.  Graph attachment freezes these views; result
+    buffers (:mod:`repro.parallel.pool`) keep them writable.
+    """
+    return np.ndarray(
+        spec.shape,
+        dtype=np.dtype(spec.dtype),
+        buffer=segment.buf,
+        offset=spec.offset,
+    )
+
+
+def _layout(arrays: Dict[str, np.ndarray]) -> Tuple[List[ArraySpec], int]:
+    """Back-to-back aligned layout for ``arrays``; returns specs + size."""
+    specs: List[ArraySpec] = []
+    offset = 0
+    for key, array in arrays.items():
+        contiguous = np.ascontiguousarray(array)
+        specs.append(
+            ArraySpec(
+                key=key,
+                offset=offset,
+                shape=tuple(int(s) for s in contiguous.shape),
+                dtype=contiguous.dtype.name,
+            )
+        )
+        offset += _pad(contiguous.nbytes)
+    return specs, offset
+
+
+# ---------------------------------------------------------------------------
+# Per-kind extract / rebuild recipes
+# ---------------------------------------------------------------------------
+def _extract_graph(graph: Graph) -> Dict[str, np.ndarray]:
+    return {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "degrees": graph.degrees,
+    }
+
+
+def _rebuild_graph(views: Dict[str, np.ndarray], num_vertices: int) -> Graph:
+    """A :class:`Graph` whose CSR arrays alias shared memory, zero-copy.
+
+    Bypasses ``Graph.__init__`` (the arrays were validated when the
+    parent built the original graph; re-validating per worker would be
+    ``O(m)`` per process) and installs the frozen views directly — this
+    module is on the reprolint R1 constructor allowlist for exactly
+    this assignment.
+    """
+    graph = Graph.__new__(Graph)
+    graph._indptr = sanitize.freeze(views["indptr"], "Graph.indptr")
+    graph._indices = sanitize.freeze(views["indices"], "Graph.indices")
+    graph._degrees = sanitize.freeze(views["degrees"], "Graph.degrees")
+    return graph
+
+
+def _extract_weighted(graph: Any) -> Dict[str, np.ndarray]:
+    return {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "weights": graph.weights,
+        "degrees": graph.degrees,
+    }
+
+
+def _rebuild_weighted(views: Dict[str, np.ndarray], num_vertices: int) -> Any:
+    from repro.weighted.graph import WeightedGraph
+
+    graph = WeightedGraph.__new__(WeightedGraph)
+    graph._indptr = sanitize.freeze(views["indptr"], "WeightedGraph.indptr")
+    graph._indices = sanitize.freeze(views["indices"], "WeightedGraph.indices")
+    graph._weights = sanitize.freeze(views["weights"], "WeightedGraph.weights")
+    graph._degrees = sanitize.freeze(views["degrees"], "WeightedGraph.degrees")
+    return graph
+
+
+def _extract_directed(graph: Any) -> Dict[str, np.ndarray]:
+    fwd_indptr, fwd_indices = graph.forward_view()
+    rev_indptr, rev_indices = graph.backward_view()
+    return {
+        "fwd_indptr": fwd_indptr,
+        "fwd_indices": fwd_indices,
+        "rev_indptr": rev_indptr,
+        "rev_indices": rev_indices,
+    }
+
+
+def _rebuild_directed(views: Dict[str, np.ndarray], num_vertices: int) -> Any:
+    from repro.directed.graph import DirectedGraph
+
+    graph = DirectedGraph.__new__(DirectedGraph)
+    graph._fwd_indptr = sanitize.freeze(
+        views["fwd_indptr"], "DirectedGraph.fwd_indptr"
+    )
+    graph._fwd_indices = sanitize.freeze(
+        views["fwd_indices"], "DirectedGraph.fwd_indices"
+    )
+    graph._rev_indptr = sanitize.freeze(
+        views["rev_indptr"], "DirectedGraph.rev_indptr"
+    )
+    graph._rev_indices = sanitize.freeze(
+        views["rev_indices"], "DirectedGraph.rev_indices"
+    )
+    return graph
+
+
+_EXTRACTORS: Dict[str, Callable[[Any], Dict[str, np.ndarray]]] = {
+    "graph": _extract_graph,
+    "weighted": _extract_weighted,
+    "directed": _extract_directed,
+}
+
+_REBUILDERS: Dict[str, Callable[[Dict[str, np.ndarray], int], Any]] = {
+    "graph": _rebuild_graph,
+    "weighted": _rebuild_weighted,
+    "directed": _rebuild_directed,
+}
+
+
+class SharedGraph:
+    """Owner side of one published graph: segment + picklable spec.
+
+    Create with :meth:`publish` (or the weighted/directed variants);
+    hand :attr:`spec` to workers; call :meth:`unlink` exactly once when
+    the last worker is gone.  Usable as a context manager.
+    """
+
+    def __init__(self, segment: Any, spec: SharedGraphSpec) -> None:
+        self._segment = segment
+        self.spec = spec
+        self._released = False
+
+    # -- publication ----------------------------------------------------
+    @classmethod
+    def _publish_kind(cls, kind: str, graph: Any, n: int) -> "SharedGraph":
+        arrays = _EXTRACTORS[kind](graph)
+        specs, total = _layout(arrays)
+        segment = create_segment(total)
+        spec = SharedGraphSpec(
+            segment=segment.name,
+            kind=kind,
+            num_vertices=n,
+            arrays=tuple(specs),
+        )
+        for array_spec in specs:
+            attach_array(segment, array_spec)[...] = arrays[array_spec.key]
+        return cls(segment, spec)
+
+    @classmethod
+    def publish(cls, graph: Graph) -> "SharedGraph":
+        """Publish an unweighted :class:`Graph` (CSR + degrees)."""
+        return cls._publish_kind("graph", graph, graph.num_vertices)
+
+    @classmethod
+    def publish_weighted(cls, graph: Any) -> "SharedGraph":
+        """Publish a :class:`~repro.weighted.graph.WeightedGraph`."""
+        return cls._publish_kind("weighted", graph, graph.num_vertices)
+
+    @classmethod
+    def publish_directed(cls, graph: Any) -> "SharedGraph":
+        """Publish a :class:`~repro.directed.graph.DirectedGraph`."""
+        return cls._publish_kind("directed", graph, graph.num_vertices)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The shared segment's system-wide name."""
+        return str(self._segment.name)
+
+    def unlink(self) -> None:
+        """Close the owner handle and remove the segment name.
+
+        Idempotent; workers that still hold attached handles keep their
+        mapping until they close it (POSIX unlink semantics).
+        """
+        if self._released:
+            return
+        self._released = True
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double-unlink race
+            pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unlink()
+
+
+def attach(spec: SharedGraphSpec) -> Tuple[Any, Any]:
+    """Worker side: map ``spec``'s segment and rebuild the graph.
+
+    Returns ``(graph, segment)``.  The caller owns the segment handle
+    and must ``segment.close()`` when done — the graph's arrays alias
+    the mapping and die with it.
+
+    A note on the CPython resource tracker: attaching registers the
+    name with the tracker just like creating does (bpo-38119).  Pool
+    workers are always *children* of the publishing process, so they
+    share its tracker and the registration is a set-membership no-op —
+    the name stays tracked until the publisher unlinks it, and a parent
+    killed before cleanup still gets the segment reclaimed at tracker
+    exit.  Attaching from an unrelated process (not a descendant of the
+    publisher) is outside this module's contract.
+    """
+    shm = _require_shared_memory()
+    if spec.kind not in _REBUILDERS:
+        raise ParallelBackendError(f"unknown shared-graph kind {spec.kind!r}")
+    try:
+        segment = shm.SharedMemory(name=spec.segment)
+    except FileNotFoundError as exc:
+        raise ParallelBackendError(
+            f"shared graph segment {spec.segment!r} has vanished "
+            "(publisher gone?)"
+        ) from exc
+    views = {a.key: attach_array(segment, a) for a in spec.arrays}
+    graph = _REBUILDERS[spec.kind](views, spec.num_vertices)
+    return graph, segment

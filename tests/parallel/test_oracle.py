@@ -1,0 +1,127 @@
+"""ParallelBFSOracle: golden-corpus equivalence and backend plumbing.
+
+The golden file captured from the seed implementation
+(``tests/data/golden_ifecc.json``) pins IFECC's observable behaviour;
+running the same corpus with ``backend="process"`` must reproduce it
+bit for bit — the backend changes where batches execute, never answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from core.test_solver_equivalence import GOLDEN_PATH, build_corpus
+from repro.core.ifecc import IFECC
+from repro.core.kifecc import approximate_eccentricities
+from repro.core.oracles import BFSOracle
+from repro.counters import TraversalCounter
+from repro.errors import InvalidParameterError
+from repro.parallel import ParallelBFSOracle, shutdown_pools
+from repro.parallel.shm import shared_memory_available
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.mark.parametrize("name", sorted(build_corpus()))
+def test_ifecc_golden_with_process_backend(name, golden):
+    graph = build_corpus()[name]
+    counter = TraversalCounter()
+    engine = IFECC(
+        graph, num_references=1, counter=counter,
+        backend="process", workers=2,
+    )
+    for _ in engine.steps():
+        pass
+    want = golden[name]["r1_memo0"]
+    assert engine.bounds.eccentricities().tolist() == want["ecc"]
+    assert counter.bfs_runs == want["num_bfs"]
+    assert counter.edges_scanned == want["edges_scanned"]
+
+
+@pytest.mark.parametrize("name", sorted(build_corpus()))
+def test_kifecc_golden_with_process_backend(name, golden):
+    graph = build_corpus()[name]
+    result = approximate_eccentricities(
+        graph, k=5, backend="process", workers=2
+    )
+    want = golden[name]["kifecc_k5"]
+    assert result.eccentricities.tolist() == want["est"]
+    assert result.num_bfs == want["num_bfs"]
+    assert bool(result.exact) == want["exact"]
+
+
+class TestBatchedEntryPoints:
+    def test_ecc_all_matches_numpy_backend(self):
+        graph = build_corpus()["ba150"]
+        numpy_oracle = BFSOracle(graph)
+        process_oracle = ParallelBFSOracle(graph, workers=2)
+        assert np.array_equal(
+            process_oracle.ecc_all(), numpy_oracle.ecc_all()
+        )
+
+    def test_distance_rows_match_numpy_backend(self):
+        graph = build_corpus()["ws120"]
+        numpy_oracle = BFSOracle(graph)
+        process_oracle = ParallelBFSOracle(graph, workers=2)
+        sources = [0, 7, 101]
+        assert np.array_equal(
+            process_oracle.distance_rows(sources),
+            numpy_oracle.distance_rows(sources),
+        )
+
+    def test_single_probes_stay_sequential(self):
+        # source/sweep probes must not touch the pool at all.
+        graph = build_corpus()["paper"]
+        oracle = ParallelBFSOracle(graph, workers=2)
+        ecc, dist, rdist = oracle.source_probe(0)
+        sweep_ecc, _sweep = oracle.sweep_probe(0)
+        assert ecc == sweep_ecc
+        assert dist is rdist
+        assert oracle._pool is None  # never built
+
+    def test_close_then_reuse_rebuilds_pool(self):
+        graph = build_corpus()["paper"]
+        oracle = ParallelBFSOracle(graph, workers=1)
+        first = oracle.ecc_all()
+        oracle.close()
+        assert np.array_equal(oracle.ecc_all(), first)
+        oracle.close()
+
+
+class TestBackendFlag:
+    def test_unknown_backend_rejected(self):
+        graph = build_corpus()["paper"]
+        with pytest.raises(InvalidParameterError, match="backend"):
+            BFSOracle(graph, backend="gpu")
+
+    def test_pool_property_requires_process_backend(self):
+        graph = build_corpus()["paper"]
+        with pytest.raises(InvalidParameterError):
+            BFSOracle(graph).pool
+
+    def test_numpy_backend_never_imports_parallel_pool(self):
+        graph = build_corpus()["paper"]
+        oracle = BFSOracle(graph)
+        assert oracle.backend == "numpy"
+        assert np.array_equal(
+            oracle.ecc_all([0, 1]),
+            oracle.engine.ecc_batch(np.asarray([0, 1], dtype=np.int64)),
+        )

@@ -1,0 +1,145 @@
+"""Shared-memory graph publication (repro.parallel.shm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelBackendError
+from repro.graph.generators import barabasi_albert, paper_example_graph
+from repro.parallel.shm import (
+    _ALIGN,
+    ArraySpec,
+    SharedGraph,
+    SharedGraphSpec,
+    attach,
+    attach_array,
+    create_segment,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+class TestRoundTrip:
+    def test_graph_round_trip_is_bitwise(self):
+        graph = barabasi_albert(200, 3, seed=9)
+        with SharedGraph.publish(graph) as share:
+            rebuilt, segment = attach(share.spec)
+            try:
+                assert np.array_equal(rebuilt.indptr, graph.indptr)
+                assert np.array_equal(rebuilt.indices, graph.indices)
+                assert np.array_equal(rebuilt.degrees, graph.degrees)
+                assert rebuilt.num_vertices == graph.num_vertices
+                assert rebuilt.indptr.dtype == np.int64
+                assert rebuilt.indices.dtype == np.int32
+            finally:
+                segment.close()
+
+    def test_attached_views_are_frozen(self):
+        graph = paper_example_graph()
+        with SharedGraph.publish(graph) as share:
+            rebuilt, segment = attach(share.spec)
+            try:
+                for array in (
+                    rebuilt.indptr, rebuilt.indices, rebuilt.degrees
+                ):
+                    assert not array.flags.writeable
+                    with pytest.raises(ValueError):
+                        array[0] = 99
+            finally:
+                segment.close()
+
+    def test_attached_views_are_zero_copy(self):
+        graph = paper_example_graph()
+        with SharedGraph.publish(graph) as share:
+            rebuilt, segment = attach(share.spec)
+            try:
+                # The views alias the mapped buffer, not fresh arrays.
+                assert rebuilt.indptr.base is not None
+            finally:
+                segment.close()
+
+    def test_weighted_round_trip(self):
+        from repro.weighted.graph import WeightedGraph
+
+        graph = WeightedGraph.from_edges(
+            [(0, 1, 1.5), (1, 2, 0.25), (2, 3, 2.0), (3, 0, 1.0)]
+        )
+        with SharedGraph.publish_weighted(graph) as share:
+            rebuilt, segment = attach(share.spec)
+            try:
+                assert np.array_equal(rebuilt.indptr, graph.indptr)
+                assert np.array_equal(rebuilt.indices, graph.indices)
+                assert np.array_equal(rebuilt.weights, graph.weights)
+            finally:
+                segment.close()
+
+    def test_directed_round_trip(self):
+        from repro.directed.graph import DirectedGraph
+
+        graph = DirectedGraph.from_arcs([(0, 1), (1, 2), (2, 3), (3, 0)])
+        with SharedGraph.publish_directed(graph) as share:
+            rebuilt, segment = attach(share.spec)
+            try:
+                for got, want in zip(
+                    rebuilt.forward_view() + rebuilt.backward_view(),
+                    graph.forward_view() + graph.backward_view(),
+                ):
+                    assert np.array_equal(got, want)
+            finally:
+                segment.close()
+
+
+class TestLayout:
+    def test_offsets_are_aligned(self):
+        graph = barabasi_albert(150, 2, seed=4)
+        with SharedGraph.publish(graph) as share:
+            for spec in share.spec.arrays:
+                assert spec.offset % _ALIGN == 0
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        graph = paper_example_graph()
+        with SharedGraph.publish(graph) as share:
+            clone = pickle.loads(pickle.dumps(share.spec))
+            assert clone == share.spec
+
+
+class TestLifecycle:
+    def test_unlink_is_idempotent(self):
+        share = SharedGraph.publish(paper_example_graph())
+        share.unlink()
+        share.unlink()
+
+    def test_attach_after_unlink_raises(self):
+        share = SharedGraph.publish(paper_example_graph())
+        spec = share.spec
+        share.unlink()
+        with pytest.raises(ParallelBackendError, match="vanished"):
+            attach(spec)
+
+    def test_unknown_kind_raises(self):
+        spec = SharedGraphSpec(
+            segment="nope", kind="hypergraph", num_vertices=1, arrays=()
+        )
+        with pytest.raises(ParallelBackendError, match="unknown"):
+            attach(spec)
+
+    def test_attach_array_round_trips_values(self):
+        segment = create_segment(4 * 16)
+        try:
+            spec = ArraySpec(
+                key="x", offset=0, shape=(16,), dtype="int32"
+            )
+            view = attach_array(segment, spec)
+            view[:] = np.arange(16, dtype=np.int32)
+            again = attach_array(segment, spec)
+            assert np.array_equal(again, np.arange(16))
+        finally:
+            segment.close()
+            segment.unlink()

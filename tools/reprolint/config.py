@@ -45,6 +45,9 @@ CSR_MUTATION_ALLOWLIST = frozenset(
         "src/repro/graph/csr.py",
         "src/repro/directed/graph.py",
         "src/repro/weighted/graph.py",
+        # Rebuilds frozen zero-copy graph views on shared-memory attach;
+        # a constructor in everything but name.
+        "src/repro/parallel/shm.py",
     }
 )
 
@@ -87,6 +90,7 @@ HOT_PATH_PREFIXES = (
     "src/repro/weighted/eccentricity.py",
     "src/repro/directed/eccentricity.py",
     "src/repro/directed/traversal.py",
+    "src/repro/parallel/",
 )
 
 #: Modules exempt from the ``__all__`` requirement (script entry points).
@@ -163,6 +167,9 @@ SHARED_STATE = {
     },
     "src/repro/graph/msbfs.py": {
         "_WORKSPACES": ("_workspace_for",),
+    },
+    "src/repro/parallel/pool.py": {
+        "_POOLS": ("pool_for", "shutdown_pools"),
     },
     "src/repro/datasets/loader.py": {
         "_CACHE": ("load_dataset", "clear_cache"),
