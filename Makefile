@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel examples results clean lint typecheck check
+.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel bench-store examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -61,6 +61,13 @@ bench-smoke:
 # Honest on constrained hosts: the JSON records effective_cpus.
 bench-parallel:
 	python benchmarks/bench_bfs_engine.py --shootout-only --repeats 1
+
+# Graph-store cold-open ladder (parse vs. npz vs. mmap open) on the
+# full stand-in ladder; writes BENCH_graph_store.json at the repo root
+# and exits non-zero if store open drops below 10x faster than parse.
+# CI runs the --smoke variant and uploads the JSON.
+bench-store:
+	python benchmarks/bench_graph_store.py
 
 examples:
 	python examples/quickstart.py

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.baselines.naive import naive_eccentricities
 from repro.core.ifecc import IFECC, compute_eccentricities
-from repro.datasets.loader import load_dataset
+from repro.datasets.collection import default_collection
 from repro.datasets.registry import dataset_names, get_spec
 from repro.errors import BudgetExhaustedError
 from repro.graph.csr import Graph
@@ -55,9 +55,16 @@ _PLL: Dict[str, Optional[PLLIndex]] = {}
 
 
 def graph_for(name: str) -> Graph:
-    """The stand-in graph for a dataset (session cache)."""
+    """The stand-in graph for a dataset (session cache).
+
+    Sourced through the default :class:`~repro.datasets.collection.
+    GraphCollection`: the first bench invocation on a machine
+    materializes the stand-in into a ``.rcsr`` container, every later
+    one (same session or not) mmap-opens the file instead of
+    regenerating an identical graph.
+    """
     if name not in _GRAPHS:
-        _GRAPHS[name] = load_dataset(name)
+        _GRAPHS[name] = default_collection().open(name)
     return _GRAPHS[name]
 
 

@@ -29,13 +29,20 @@ Subcommands
     Inspect saved run records: ``repro-ecc trace summarize PATH`` prints
     the convergence table of a record written via ``--trace PATH`` on
     ``ecc``/``approx``/``diameter``.
+``store``
+    Manage the binary graph store: ``store build NAME`` materializes a
+    dataset stand-in as a mmap-openable ``.rcsr`` container,
+    ``store info`` prints a container's header, ``store verify``
+    recomputes its content fingerprint.  Every graph-taking subcommand
+    also accepts ``store://NAME`` (a collection entry, materialized on
+    first use) and ``.rcsr`` file paths directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,14 +61,47 @@ from repro.graph.io import read_edge_list
 __all__ = ["main", "build_parser"]
 
 
-def _load_graph(source: str, use_lcc: bool) -> Graph:
-    """Resolve ``source`` to a graph: dataset name first, then file path."""
+#: URL-style prefix selecting a collection entry as a graph source.
+_STORE_PREFIX = "store://"
+
+
+def _store_meta(source: str, graph: Graph) -> Dict[str, Any]:
+    """Run-record source metadata for a store-backed ``graph``."""
+    from repro.store.format import source_of
+
+    info = source_of(graph)
+    meta: Dict[str, Any] = {"source": source}
+    if info is not None:
+        meta["store"] = {"path": info.path, "fingerprint": info.digest}
+    return meta
+
+
+def _load_graph(source: str, use_lcc: bool) -> Tuple[Graph, Dict[str, Any]]:
+    """Resolve ``source`` to ``(graph, meta)``.
+
+    Resolution order: ``store://NAME`` (collection entry, materialized
+    on first use), a ``.rcsr`` container path, a registered dataset
+    name, then an edge-list file path.  ``meta`` describes where the
+    graph came from and is merged into run-record config headers — for
+    store-backed graphs it carries the container path and content
+    fingerprint.
+    """
+    if source.startswith(_STORE_PREFIX):
+        from repro.datasets.collection import default_collection
+
+        graph = default_collection().open(source[len(_STORE_PREFIX):])
+        return graph, _store_meta(source, graph)
+    if source.endswith(".rcsr"):
+        from repro.store.format import open_store
+
+        graph = open_store(source)
+        return graph, _store_meta(source, graph)
     if source in DATASETS:
-        return load_dataset(source)
+        return load_dataset(source), {"source": f"dataset:{source}"}
     graph = read_edge_list(source)
     if use_lcc:
         graph, _ids = largest_connected_component(graph)
-    return graph
+    return graph, {"source": source}
 
 
 def _run_traced(
@@ -104,7 +144,7 @@ def _backend_config(args: argparse.Namespace) -> Dict[str, Any]:
 
 
 def _cmd_ecc(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.lcc)
+    graph, meta = _load_graph(args.graph, args.lcc)
     result = _run_traced(
         args,
         graph,
@@ -112,6 +152,7 @@ def _cmd_ecc(args: argparse.Namespace) -> int:
             "command": "ecc",
             "references": args.references,
             **_backend_config(args),
+            **meta,
         },
         lambda: compute_eccentricities(
             graph,
@@ -136,7 +177,7 @@ def _cmd_ecc(args: argparse.Namespace) -> int:
 
 
 def _cmd_approx(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.lcc)
+    graph, meta = _load_graph(args.graph, args.lcc)
     result = _run_traced(
         args,
         graph,
@@ -145,6 +186,7 @@ def _cmd_approx(args: argparse.Namespace) -> int:
             "k": args.k,
             "estimator": args.estimator,
             **_backend_config(args),
+            **meta,
         },
         lambda: approximate_eccentricities(
             graph,
@@ -172,11 +214,11 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.lcc)
+    graph, meta = _load_graph(args.graph, args.lcc)
     result = _run_traced(
         args,
         graph,
-        {"command": "diameter", **_backend_config(args)},
+        {"command": "diameter", **_backend_config(args), **meta},
         lambda: compute_eccentricities(
             graph, backend=args.backend, workers=args.workers
         ),
@@ -199,7 +241,7 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.lcc)
+    graph, _meta = _load_graph(args.graph, args.lcc)
     strat = stratify(graph)
     sizes = strat.sizes()
     print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
@@ -220,7 +262,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.comparison import compare_algorithms
 
-    graph = _load_graph(args.graph, args.lcc)
+    graph, _meta = _load_graph(args.graph, args.lcc)
     table = compare_algorithms(
         graph,
         pllecc_budget=args.budget,
@@ -254,7 +296,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import analyze
 
-    graph = _load_graph(args.graph, args.lcc)
+    graph, _meta = _load_graph(args.graph, args.lcc)
     report = analyze(graph, with_closeness=args.closeness)
     print(report.render())
     return 0
@@ -265,6 +307,68 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
 
     record = RunRecord.read_jsonl(args.record)
     print(record.summarize())
+    return 0
+
+
+def _resolve_store_target(target: str) -> str:
+    """Resolve a ``store`` subcommand target to a container path.
+
+    Accepts a ``store://NAME`` reference, a bare dataset name (looked up
+    in the default collection), or a ``.rcsr`` file path.
+    """
+    from repro.datasets.collection import default_collection
+
+    if target.startswith(_STORE_PREFIX):
+        target = target[len(_STORE_PREFIX):]
+    if target in DATASETS:
+        return str(default_collection().path_for(target))
+    return target
+
+
+def _print_store_info(info: Any) -> None:
+    print(f"path:         {info.path}")
+    print(f"kind:         {info.kind} (v{info.version})")
+    print(f"vertices:     {info.num_vertices}")
+    print(f"entries:      {info.num_entries}")
+    print(f"fingerprint:  {info.digest}")
+    print(f"bytes:        {info.file_bytes}")
+    for entry in info.arrays:
+        print(
+            f"  slot {entry.key:<12} {entry.dtype:<8} "
+            f"offset={entry.offset:<12} length={entry.length}"
+        )
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    from repro.datasets.collection import GraphCollection, default_collection
+
+    collection = (
+        GraphCollection(args.root) if args.root else default_collection()
+    )
+    for name in args.names:
+        info = collection.materialize(
+            name, scale=args.scale, force=args.force
+        )
+        print(
+            f"{name}: {info.path} (kind={info.kind}, "
+            f"n={info.num_vertices}, entries={info.num_entries}, "
+            f"fingerprint={info.digest})"
+        )
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    from repro.store.format import read_info
+
+    _print_store_info(read_info(_resolve_store_target(args.target)))
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store.format import verify_store
+
+    info = verify_store(_resolve_store_target(args.target))
+    print(f"{info.path}: OK (fingerprint {info.digest})")
     return 0
 
 
@@ -401,6 +505,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("dataset", help="dataset name (see `table3`)")
     p_gen.add_argument("output", help="output edge-list path")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_store = sub.add_parser("store", help="manage the binary graph store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sbuild = store_sub.add_parser(
+        "build",
+        help="materialize dataset stand-ins as .rcsr containers",
+    )
+    p_sbuild.add_argument(
+        "names", nargs="+", metavar="NAME",
+        help="dataset names (see `table3`)",
+    )
+    p_sbuild.add_argument(
+        "--scale", type=float, default=1.0,
+        help="stand-in size multiplier (default 1.0)",
+    )
+    p_sbuild.add_argument(
+        "--force", action="store_true",
+        help="rebuild even when the container already exists",
+    )
+    p_sbuild.add_argument(
+        "--root", metavar="DIR",
+        help="collection directory (default: $REPRO_STORE_DIR or "
+        "~/.cache/repro)",
+    )
+    p_sbuild.set_defaults(func=_cmd_store_build)
+    p_sinfo = store_sub.add_parser(
+        "info", help="print a container's header"
+    )
+    p_sinfo.add_argument(
+        "target", help="store://NAME, dataset name, or .rcsr path"
+    )
+    p_sinfo.set_defaults(func=_cmd_store_info)
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="recompute and check a container's content fingerprint",
+    )
+    p_sverify.add_argument(
+        "target", help="store://NAME, dataset name, or .rcsr path"
+    )
+    p_sverify.set_defaults(func=_cmd_store_verify)
 
     p_trace = sub.add_parser("trace", help="inspect saved run records")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

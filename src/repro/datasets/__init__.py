@@ -1,5 +1,11 @@
-"""Dataset registry (Table 3) and synthetic stand-in loader."""
+"""Dataset registry (Table 3), stand-in loader, and store collections."""
 
+from repro.datasets.collection import (
+    GraphCollection,
+    default_collection,
+    default_store_root,
+    reset_default_collection,
+)
 from repro.datasets.loader import build_standin, clear_cache, load_dataset
 from repro.datasets.registry import (
     DATASETS,
@@ -18,4 +24,8 @@ __all__ = [
     "load_dataset",
     "build_standin",
     "clear_cache",
+    "GraphCollection",
+    "default_collection",
+    "default_store_root",
+    "reset_default_collection",
 ]

@@ -43,6 +43,7 @@ class DirectedGraph:
         "_fwd_indices",
         "_rev_indptr",
         "_rev_indices",
+        "__weakref__",
     )
 
     def __init__(

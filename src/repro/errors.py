@@ -17,6 +17,7 @@ __all__ = [
     "BudgetExhaustedError",
     "SanitizerError",
     "ParallelBackendError",
+    "StoreFormatError",
 ]
 
 
@@ -88,6 +89,17 @@ class BudgetExhaustedError(ReproError):
     def __init__(self, budget: float, message: str = "") -> None:
         self.budget = budget
         super().__init__(message or f"computation budget exhausted ({budget})")
+
+
+class StoreFormatError(ReproError):
+    """Raised by the binary graph store (:mod:`repro.store`).
+
+    Fires when a ``.rcsr`` container cannot be trusted: bad magic,
+    newer-than-supported version, truncated header or payload,
+    misaligned slot offsets, a row-pointer array that is not monotone,
+    or (under ``verify``) a content fingerprint that no longer matches
+    the header digest.
+    """
 
 
 class ParallelBackendError(ReproError, RuntimeError):

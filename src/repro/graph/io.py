@@ -26,6 +26,8 @@ __all__ = [
     "write_metis",
     "save_npz",
     "load_npz",
+    "save_store",
+    "load_store",
     "parse_edge_lines",
 ]
 
@@ -96,15 +98,15 @@ def read_metis(path: PathLike) -> Graph:
     start with ``%``.  Only the plain unweighted format (``fmt`` absent
     or ``0``) is supported.
     """
-    builder = GraphBuilder()
-    header = None
+    builder: GraphBuilder | None = None
+    header: Tuple[int, int] | None = None
     vertex = 0
     with open(path, "r", encoding="utf-8") as handle:
         for raw in handle:
             line = raw.strip()
             if not line or line.startswith("%"):
                 continue
-            if header is None:
+            if builder is None or header is None:
                 parts = line.split()
                 if len(parts) < 2:
                     raise GraphConstructionError(
@@ -116,7 +118,15 @@ def read_metis(path: PathLike) -> Graph:
                         "(only unweighted graphs)"
                     )
                 header = (int(parts[0]), int(parts[1]))
+                # Fixing the vertex universe up front means out-of-range
+                # neighbor ids fail at the offending line and isolated
+                # tail vertices survive without a second build pass.
+                builder = GraphBuilder(num_vertices=header[0])
                 continue
+            if vertex >= header[0]:
+                raise GraphConstructionError(
+                    f"{path}: vertex lines exceed declared n={header[0]}"
+                )
             for token in line.split():
                 neighbor = int(token) - 1  # METIS ids are 1-based
                 if neighbor < 0:
@@ -125,22 +135,10 @@ def read_metis(path: PathLike) -> Graph:
                     )
                 builder.add_edge(vertex, neighbor)
             vertex += 1
-    if header is None:
+    if header is None or builder is None:
         raise GraphConstructionError(f"{path}: empty METIS file")
     n, m = header
-    if vertex > n:
-        raise GraphConstructionError(
-            f"{path}: {vertex} vertex lines exceed declared n={n}"
-        )
-    graph = GraphBuilder(num_vertices=n)
-    built = builder.build()
-    if built.num_vertices > n:
-        raise GraphConstructionError(
-            f"{path}: neighbor id exceeds declared n={n}"
-        )
-    # Rebuild with the declared vertex count (isolated tail vertices).
-    graph.add_edges(built.edges())
-    out = graph.build()
+    out = builder.build()
     if out.num_edges != m:
         raise GraphConstructionError(
             f"{path}: found {out.num_edges} edges, header declares {m}"
@@ -169,10 +167,74 @@ def save_npz(graph: Graph, path: PathLike) -> None:
 
 
 def load_npz(path: PathLike) -> Graph:
-    """Load a graph previously written by :func:`save_npz`."""
+    """Load a graph previously written by :func:`save_npz`.
+
+    The archive contents are validated **before** construction — dtype
+    kinds, shapes, a non-negative monotone ``indptr`` with the right
+    endpoints, and ``indices`` bounds — so a corrupt or hand-edited
+    archive fails here with :class:`GraphConstructionError` instead of
+    crashing later inside a traversal kernel.
+    """
     with np.load(Path(path)) as data:
         if "indptr" not in data or "indices" not in data:
             raise GraphConstructionError(
                 f"{path}: not a graph archive (missing indptr/indices)"
             )
-        return Graph(data["indptr"], data["indices"])
+        raw_indptr = data["indptr"]
+        raw_indices = data["indices"]
+    if raw_indptr.ndim != 1 or raw_indices.ndim != 1:
+        raise GraphConstructionError(
+            f"{path}: indptr/indices must be one-dimensional, got shapes "
+            f"{raw_indptr.shape} and {raw_indices.shape}"
+        )
+    for key, array in (("indptr", raw_indptr), ("indices", raw_indices)):
+        if array.dtype.kind not in "iu":
+            raise GraphConstructionError(
+                f"{path}: {key} has non-integer dtype {array.dtype}"
+            )
+    if len(raw_indptr) == 0 or raw_indptr[0] != 0:
+        raise GraphConstructionError(
+            f"{path}: indptr must start at 0"
+        )
+    if int(raw_indptr[-1]) != len(raw_indices):
+        raise GraphConstructionError(
+            f"{path}: indptr ends at {int(raw_indptr[-1])} but indices "
+            f"has {len(raw_indices)} entries"
+        )
+    if len(raw_indptr) > 1 and bool(np.any(np.diff(raw_indptr) < 0)):
+        raise GraphConstructionError(
+            f"{path}: indptr is not monotone non-decreasing"
+        )
+    num_vertices = len(raw_indptr) - 1
+    if len(raw_indices) and (
+        int(raw_indices.min()) < 0
+        or int(raw_indices.max()) >= num_vertices
+    ):
+        raise GraphConstructionError(
+            f"{path}: indices out of range [0, {num_vertices})"
+        )
+    return Graph(raw_indptr, raw_indices)
+
+
+def save_store(graph: Graph, path: PathLike) -> None:
+    """Save ``graph`` as a ``.rcsr`` binary store container.
+
+    Conversion entry point from the text formats: ``read_edge_list`` /
+    ``read_metis`` / ``load_npz`` produce the graph, this writes the
+    mmap-openable container (see :mod:`repro.store.format`).
+    """
+    from repro.store.format import save_store as _save
+
+    _save(graph, path)
+
+
+def load_store(path: PathLike) -> Graph:
+    """Open a ``.rcsr`` container as a read-only memmap-backed graph.
+
+    O(1) in the graph size — no parse, no copy; the CSR arrays alias
+    the mapped file.  See :func:`repro.store.format.open_store`.
+    """
+    from repro.store.format import open_store as _open
+
+    graph: Graph = _open(path)
+    return graph

@@ -72,9 +72,13 @@ def graph_fingerprint(graph: Any) -> Dict[str, Any]:
     weights = getattr(graph, "weights", None)
     if weights is not None:
         digest.update(weights.tobytes())
+    num_edges = getattr(graph, "num_edges", None)
+    if num_edges is None:
+        # Directed graphs count arcs, not undirected edges.
+        num_edges = getattr(graph, "num_arcs", 0)
     return {
         "num_vertices": int(graph.num_vertices),
-        "num_edges": int(graph.num_edges),
+        "num_edges": int(num_edges),
         "digest": digest.hexdigest()[:16],
     }
 

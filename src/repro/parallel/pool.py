@@ -341,7 +341,9 @@ class TraversalPool:
             self, _release_resources, self._resources
         )
         ctx = _mp_context()
-        self._resources.graph_share = shm_mod.SharedGraph.publish(graph)
+        # Store-backed graphs publish as a file reference (workers map
+        # the .rcsr pages); in-memory graphs copy into a segment.
+        self._resources.graph_share = shm_mod.publish_graph(graph)
         self._resources.task_queue = ctx.SimpleQueue()
         self._resources.result_queue = ctx.Queue()
         try:

@@ -29,10 +29,17 @@ shutdown, and only the publishing parent ever unlinks the name.  The
 module guards every entry point behind :func:`shared_memory_available`
 so platforms without POSIX/Windows shared memory degrade to a clean
 error instead of an import crash.
+
+Graphs opened from the binary store (:mod:`repro.store`) skip the
+segment entirely: :func:`publish_graph` notices the backing ``.rcsr``
+file and ships only its path + slot offsets, and workers ``np.memmap``
+the same file — the OS page cache is the shared memory, and nothing is
+copied anywhere.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -55,6 +62,7 @@ __all__ = [
     "attach",
     "attach_array",
     "create_segment",
+    "publish_graph",
 ]
 
 #: Byte alignment of each array inside the shared segment; numpy only
@@ -96,17 +104,30 @@ class SharedGraphSpec:
 
     ``kind`` selects the rebuild recipe (``"graph"``, ``"weighted"``,
     ``"directed"``); ``arrays`` locates each frozen CSR array inside the
-    segment called ``segment``.
+    segment called ``segment`` — or, when ``path`` is set, inside the
+    ``.rcsr`` store file at that path (``segment`` is then empty and the
+    worker maps the file read-only instead of opening a segment).
     """
 
     segment: str
     kind: str
     num_vertices: int
     arrays: Tuple[ArraySpec, ...]
+    path: Optional[str] = None
 
 
 def _pad(nbytes: int) -> int:
     return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the multiprocessing resource tracker in this process."""
+    try:  # pragma: no cover - absent only on exotic platforms
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except (ImportError, OSError):  # pragma: no cover
+        pass
 
 
 def create_segment(nbytes: int) -> Any:
@@ -159,6 +180,19 @@ def _extract_graph(graph: Graph) -> Dict[str, np.ndarray]:
     }
 
 
+def _degrees_view(views: Dict[str, np.ndarray]) -> np.ndarray:
+    """The published ``degrees`` array, or a derived one.
+
+    Segment publications ship degrees; ``.rcsr`` store files do not
+    (they are derivable), so file-backed attach recomputes the ``O(n)``
+    diff instead of failing.
+    """
+    degrees = views.get("degrees")
+    if degrees is None:
+        degrees = np.diff(views["indptr"])
+    return degrees
+
+
 def _rebuild_graph(views: Dict[str, np.ndarray], num_vertices: int) -> Graph:
     """A :class:`Graph` whose CSR arrays alias shared memory, zero-copy.
 
@@ -171,7 +205,7 @@ def _rebuild_graph(views: Dict[str, np.ndarray], num_vertices: int) -> Graph:
     graph = Graph.__new__(Graph)
     graph._indptr = sanitize.freeze(views["indptr"], "Graph.indptr")
     graph._indices = sanitize.freeze(views["indices"], "Graph.indices")
-    graph._degrees = sanitize.freeze(views["degrees"], "Graph.degrees")
+    graph._degrees = sanitize.freeze(_degrees_view(views), "Graph.degrees")
     return graph
 
 
@@ -191,7 +225,9 @@ def _rebuild_weighted(views: Dict[str, np.ndarray], num_vertices: int) -> Any:
     graph._indptr = sanitize.freeze(views["indptr"], "WeightedGraph.indptr")
     graph._indices = sanitize.freeze(views["indices"], "WeightedGraph.indices")
     graph._weights = sanitize.freeze(views["weights"], "WeightedGraph.weights")
-    graph._degrees = sanitize.freeze(views["degrees"], "WeightedGraph.degrees")
+    graph._degrees = sanitize.freeze(
+        _degrees_view(views), "WeightedGraph.degrees"
+    )
     return graph
 
 
@@ -238,12 +274,52 @@ _REBUILDERS: Dict[str, Callable[[Dict[str, np.ndarray], int], Any]] = {
 }
 
 
+#: Store slot name -> rebuild view name, per kind.  The ``.rcsr``
+#: format names the forward CSR pair plainly; the directed rebuilder
+#: wants the fwd_/rev_ split.
+_STORE_KEY_MAP: Dict[str, Dict[str, str]] = {
+    "graph": {"indptr": "indptr", "indices": "indices"},
+    "weighted": {
+        "indptr": "indptr",
+        "indices": "indices",
+        "weights": "weights",
+    },
+    "directed": {
+        "indptr": "fwd_indptr",
+        "indices": "fwd_indices",
+        "rev_indptr": "rev_indptr",
+        "rev_indices": "rev_indices",
+    },
+}
+
+
+class _FileMapping:
+    """Stand-in for the segment handle on the file-backed attach path.
+
+    Each memmap view owns its own mapping of the store file; there is
+    no shared handle to close, so :meth:`close` only drops the
+    references (the OS unmaps when the arrays are garbage-collected).
+    Mirrors the ``segment.close()`` contract workers already follow.
+    """
+
+    def __init__(self, views: Dict[str, np.ndarray]) -> None:
+        self._views: Optional[Dict[str, np.ndarray]] = views
+
+    def close(self) -> None:
+        self._views = None
+
+
 class SharedGraph:
     """Owner side of one published graph: segment + picklable spec.
 
     Create with :meth:`publish` (or the weighted/directed variants);
     hand :attr:`spec` to workers; call :meth:`unlink` exactly once when
     the last worker is gone.  Usable as a context manager.
+
+    A graph that already lives in a ``.rcsr`` store file publishes with
+    :meth:`publish_store` instead: the spec carries the file path, no
+    segment is created, and :meth:`unlink` is a no-op (the store file
+    outlives the pool by design).
     """
 
     def __init__(self, segment: Any, spec: SharedGraphSpec) -> None:
@@ -282,21 +358,63 @@ class SharedGraph:
         """Publish a :class:`~repro.directed.graph.DirectedGraph`."""
         return cls._publish_kind("directed", graph, graph.num_vertices)
 
+    @classmethod
+    def publish_store(cls, info: Any) -> "SharedGraph":
+        """Publish a graph that already lives in a ``.rcsr`` store file.
+
+        ``info`` is a :class:`repro.store.format.StoreInfo`.  No bytes
+        move at all — the spec just names the file and its slot
+        offsets, and every worker maps the same pages the parent
+        already has (OS page-cache sharing instead of a second
+        shared-memory copy of the CSR).
+        """
+        # A segment publication starts the multiprocessing resource
+        # tracker as a side effect of creating the segment; the
+        # file-backed path creates nothing, so start it explicitly.
+        # Workers forked afterwards then inherit the parent's tracker
+        # and their lazy result-segment attaches register with it,
+        # instead of each worker spawning a private tracker that later
+        # complains about names the parent already unlinked.
+        _ensure_resource_tracker()
+        key_map = _STORE_KEY_MAP[info.kind]
+        specs = tuple(
+            ArraySpec(
+                key=key_map[entry.key],
+                offset=entry.offset,
+                shape=(entry.length,),
+                dtype=entry.dtype,
+            )
+            for entry in info.arrays
+        )
+        spec = SharedGraphSpec(
+            segment="",
+            kind=info.kind,
+            num_vertices=info.num_vertices,
+            arrays=specs,
+            path=str(info.path),
+        )
+        return cls(None, spec)
+
     # -- lifecycle ------------------------------------------------------
     @property
     def name(self) -> str:
-        """The shared segment's system-wide name."""
+        """The shared segment's system-wide name (or the store path)."""
+        if self._segment is None:
+            return str(self.spec.path)
         return str(self._segment.name)
 
     def unlink(self) -> None:
         """Close the owner handle and remove the segment name.
 
         Idempotent; workers that still hold attached handles keep their
-        mapping until they close it (POSIX unlink semantics).
+        mapping until they close it (POSIX unlink semantics).  A
+        file-backed publication owns nothing — the store file stays.
         """
         if self._released:
             return
         self._released = True
+        if self._segment is None:
+            return
         self._segment.close()
         try:
             self._segment.unlink()
@@ -326,9 +444,11 @@ def attach(spec: SharedGraphSpec) -> Tuple[Any, Any]:
     exit.  Attaching from an unrelated process (not a descendant of the
     publisher) is outside this module's contract.
     """
-    shm = _require_shared_memory()
     if spec.kind not in _REBUILDERS:
         raise ParallelBackendError(f"unknown shared-graph kind {spec.kind!r}")
+    if spec.path is not None:
+        return _attach_file(spec)
+    shm = _require_shared_memory()
     try:
         segment = shm.SharedMemory(name=spec.segment)
     except FileNotFoundError as exc:
@@ -339,3 +459,51 @@ def attach(spec: SharedGraphSpec) -> Tuple[Any, Any]:
     views = {a.key: attach_array(segment, a) for a in spec.arrays}
     graph = _REBUILDERS[spec.kind](views, spec.num_vertices)
     return graph, segment
+
+
+def _attach_file(spec: SharedGraphSpec) -> Tuple[Any, Any]:
+    """Map a file-backed spec's store file and rebuild the graph.
+
+    Every array maps its own read-only window of the ``.rcsr`` file; the
+    OS shares the backing pages with the publisher and every sibling
+    worker, so this is as zero-copy as the segment path without any
+    segment lifetime to manage.
+    """
+    try:
+        views = {
+            a.key: np.memmap(
+                spec.path,
+                dtype=np.dtype(a.dtype),
+                mode="r",
+                offset=a.offset,
+                shape=a.shape,
+            )
+            for a in spec.arrays
+        }
+    except (OSError, ValueError) as exc:
+        raise ParallelBackendError(
+            f"store file {spec.path!r} has vanished or shrunk "
+            f"(publisher's store deleted?): {exc}"
+        ) from exc
+    graph = _REBUILDERS[spec.kind](views, spec.num_vertices)
+    return graph, _FileMapping(views)
+
+
+def publish_graph(graph: Any) -> SharedGraph:
+    """Publish ``graph`` the cheapest way available.
+
+    A graph opened from the binary store (its :func:`repro.store.format.
+    source_of` registration is live) publishes as a file reference —
+    workers map the store file and no second copy of the CSR is made.
+    Anything else falls back to copying into a shared-memory segment.
+    """
+    from repro.store.format import source_of
+
+    info = source_of(graph)
+    if info is not None and os.path.exists(info.path):
+        return SharedGraph.publish_store(info)
+    if hasattr(graph, "forward_view"):
+        return SharedGraph.publish_directed(graph)
+    if getattr(graph, "weights", None) is not None:
+        return SharedGraph.publish_weighted(graph)
+    return SharedGraph.publish(graph)

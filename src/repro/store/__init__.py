@@ -1,0 +1,44 @@
+"""On-disk binary graph store (`.rcsr` containers).
+
+Public seam for saving frozen CSR graphs to a versioned binary
+container and reopening them as read-only ``np.memmap``-backed graphs
+in O(1) — see :mod:`repro.store.format` for the byte layout.
+"""
+
+from __future__ import annotations
+
+from repro.store.format import (
+    ALIGN,
+    HEADER_SIZE,
+    MAGIC,
+    STORE_VERSION,
+    SUFFIX,
+    StoreArray,
+    StoreInfo,
+    graph_from_arrays,
+    map_store_arrays,
+    open_store,
+    read_info,
+    register_source,
+    save_store,
+    source_of,
+    verify_store,
+)
+
+__all__ = [
+    "ALIGN",
+    "HEADER_SIZE",
+    "MAGIC",
+    "STORE_VERSION",
+    "SUFFIX",
+    "StoreArray",
+    "StoreInfo",
+    "graph_from_arrays",
+    "map_store_arrays",
+    "open_store",
+    "read_info",
+    "register_source",
+    "save_store",
+    "source_of",
+    "verify_store",
+]

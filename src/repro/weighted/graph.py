@@ -29,7 +29,13 @@ class WeightedGraph:
     Duplicate edges keep the *minimum* weight; self-loops are dropped.
     """
 
-    __slots__ = ("_indptr", "_indices", "_weights", "_degrees")
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_degrees",
+        "__weakref__",
+    )
 
     def __init__(
         self,

@@ -85,6 +85,64 @@ class TestNpzRoundTrip:
             load_npz(path)
 
 
+class TestNpzHardening:
+    """load_npz validates the archive instead of trusting it."""
+
+    def _write(self, tmp_path, indptr, indices):
+        import numpy as np
+
+        path = tmp_path / "g.npz"
+        np.savez(path, indptr=np.asarray(indptr), indices=np.asarray(indices))
+        return path
+
+    def test_float_dtype_rejected(self, tmp_path):
+        path = self._write(tmp_path, [0.0, 1.0, 2.0], [1, 0])
+        with pytest.raises(GraphConstructionError, match="dtype"):
+            load_npz(path)
+
+    def test_non_monotone_indptr_rejected(self, tmp_path):
+        path = self._write(tmp_path, [0, 2, 1, 2], [1, 0])
+        with pytest.raises(GraphConstructionError, match="monoton"):
+            load_npz(path)
+
+    def test_indptr_must_start_at_zero(self, tmp_path):
+        path = self._write(tmp_path, [1, 2, 3], [1, 0])
+        with pytest.raises(GraphConstructionError, match="indptr"):
+            load_npz(path)
+
+    def test_indptr_end_must_match_indices_length(self, tmp_path):
+        path = self._write(tmp_path, [0, 1, 5], [1, 0])
+        with pytest.raises(GraphConstructionError, match="indices"):
+            load_npz(path)
+
+    def test_out_of_range_indices_rejected(self, tmp_path):
+        path = self._write(tmp_path, [0, 1, 2], [1, 7])
+        with pytest.raises(GraphConstructionError, match="range"):
+            load_npz(path)
+
+    def test_negative_indices_rejected(self, tmp_path):
+        path = self._write(tmp_path, [0, 1, 2], [1, -1])
+        with pytest.raises(GraphConstructionError, match="range"):
+            load_npz(path)
+
+    def test_two_dimensional_arrays_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=np.zeros((2, 2), dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int32),
+        )
+        with pytest.raises(GraphConstructionError, match="one-dimensional"):
+            load_npz(path)
+
+    def test_error_message_names_the_file(self, tmp_path):
+        path = self._write(tmp_path, [0, 2, 1, 2], [1, 0])
+        with pytest.raises(GraphConstructionError, match=path.name):
+            load_npz(path)
+
+
 class TestMetis:
     def test_round_trip(self, tmp_path):
         from repro.graph.io import read_metis, write_metis

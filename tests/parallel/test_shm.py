@@ -15,8 +15,10 @@ from repro.parallel.shm import (
     attach,
     attach_array,
     create_segment,
+    publish_graph,
     shared_memory_available,
 )
+from repro.store.format import open_store, read_info, save_store
 
 pytestmark = pytest.mark.skipif(
     not shared_memory_available(),
@@ -108,6 +110,94 @@ class TestLayout:
         with SharedGraph.publish(graph) as share:
             clone = pickle.loads(pickle.dumps(share.spec))
             assert clone == share.spec
+
+
+class TestFileBacked:
+    """Publication of store-resident graphs: the spec carries the file
+    path and workers memmap it instead of copying CSR into a segment."""
+
+    def test_publish_store_round_trip(self, tmp_path):
+        graph = barabasi_albert(200, 3, seed=9)
+        info = save_store(graph, tmp_path / "g.rcsr")
+        with SharedGraph.publish_store(info) as share:
+            assert share.spec.path == str(info.path)
+            assert share.spec.segment == ""
+            rebuilt, mapping = attach(share.spec)
+            try:
+                assert np.array_equal(rebuilt.indptr, graph.indptr)
+                assert np.array_equal(rebuilt.indices, graph.indices)
+                assert np.array_equal(rebuilt.degrees, graph.degrees)
+            finally:
+                mapping.close()
+
+    def test_file_backed_views_are_frozen_memmaps(self, tmp_path):
+        info = save_store(paper_example_graph(), tmp_path / "g.rcsr")
+        with SharedGraph.publish_store(info) as share:
+            rebuilt, mapping = attach(share.spec)
+            try:
+                for array in (rebuilt.indptr, rebuilt.indices):
+                    assert not array.flags.writeable
+                    with pytest.raises(ValueError):
+                        array[0] = 99
+            finally:
+                mapping.close()
+
+    def test_unlink_leaves_the_store_file(self, tmp_path):
+        info = save_store(paper_example_graph(), tmp_path / "g.rcsr")
+        share = SharedGraph.publish_store(info)
+        share.unlink()
+        share.unlink()  # idempotent, and the file survives
+        assert (tmp_path / "g.rcsr").exists()
+        assert open_store(info.path).num_vertices == 13
+
+    def test_attach_vanished_file_raises(self, tmp_path):
+        info = save_store(paper_example_graph(), tmp_path / "g.rcsr")
+        share = SharedGraph.publish_store(info)
+        (tmp_path / "g.rcsr").unlink()
+        with pytest.raises(ParallelBackendError, match="vanished"):
+            attach(share.spec)
+
+    def test_spec_with_path_pickles(self, tmp_path):
+        import pickle
+
+        info = save_store(paper_example_graph(), tmp_path / "g.rcsr")
+        with SharedGraph.publish_store(info) as share:
+            clone = pickle.loads(pickle.dumps(share.spec))
+            assert clone == share.spec
+            assert clone.path == str(info.path)
+
+    def test_publish_graph_prefers_the_store_file(self, tmp_path):
+        info = save_store(paper_example_graph(), tmp_path / "g.rcsr")
+        opened = open_store(info.path)
+        with publish_graph(opened) as share:
+            assert share.spec.path == str(info.path)
+
+    def test_publish_graph_falls_back_to_segment(self):
+        graph = paper_example_graph()
+        with publish_graph(graph) as share:
+            assert share.spec.path is None
+            assert share.spec.segment != ""
+            rebuilt, segment = attach(share.spec)
+            try:
+                assert np.array_equal(rebuilt.indptr, graph.indptr)
+            finally:
+                segment.close()
+
+    def test_publish_directed_store(self, tmp_path):
+        from repro.directed.graph import DirectedGraph
+
+        graph = DirectedGraph.from_arcs([(0, 1), (1, 2), (2, 3), (3, 0)])
+        info = save_store(graph, tmp_path / "d.rcsr")
+        with SharedGraph.publish_store(read_info(info.path)) as share:
+            rebuilt, mapping = attach(share.spec)
+            try:
+                for got, want in zip(
+                    rebuilt.forward_view() + rebuilt.backward_view(),
+                    graph.forward_view() + graph.backward_view(),
+                ):
+                    assert np.array_equal(got, want)
+            finally:
+                mapping.close()
 
 
 class TestLifecycle:

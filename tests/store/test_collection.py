@@ -1,0 +1,118 @@
+"""Materialized dataset collections (repro.datasets.collection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import collection as collection_mod
+from repro.datasets.collection import (
+    GraphCollection,
+    default_collection,
+    default_store_root,
+    reset_default_collection,
+)
+from repro.datasets.loader import build_standin, load_dataset
+from repro.errors import DatasetNotFoundError
+from repro.store.format import source_of
+
+
+class TestMaterialize:
+    def test_open_matches_loader(self, tmp_path):
+        collection = GraphCollection(tmp_path)
+        opened = collection.open("DBLP")
+        built = load_dataset("DBLP")
+        assert np.array_equal(opened.indptr, built.indptr)
+        assert np.array_equal(opened.indices, built.indices)
+
+    def test_materialize_is_cached(self, tmp_path, monkeypatch):
+        """The stand-in is generated exactly once; later opens hit the
+        container file."""
+        calls = []
+        real_build = collection_mod.build_standin
+
+        def counting_build(spec):
+            calls.append(spec.name)
+            return real_build(spec)
+
+        monkeypatch.setattr(
+            collection_mod, "build_standin", counting_build
+        )
+        collection = GraphCollection(tmp_path)
+        first = collection.open("DBLP")
+        second = collection.open("DBLP")
+        assert calls == ["DBLP"]
+        assert np.array_equal(first.indptr, second.indptr)
+
+    def test_force_rebuilds(self, tmp_path, monkeypatch):
+        calls = []
+        real_build = collection_mod.build_standin
+        monkeypatch.setattr(
+            collection_mod,
+            "build_standin",
+            lambda spec: (calls.append(spec.name), real_build(spec))[1],
+        )
+        collection = GraphCollection(tmp_path)
+        collection.materialize("DBLP")
+        collection.materialize("DBLP")
+        assert calls == ["DBLP"]
+        collection.materialize("DBLP", force=True)
+        assert calls == ["DBLP", "DBLP"]
+
+    def test_scaled_variants_are_separate_files(self, tmp_path):
+        collection = GraphCollection(tmp_path)
+        collection.materialize("DBLP", scale=0.25)
+        collection.materialize("DBLP")
+        assert collection.path_for("DBLP") != collection.path_for(
+            "DBLP", scale=0.25
+        )
+        assert sorted(collection.names()) == ["dblp", "dblp_x0.25"]
+
+    def test_opened_graph_knows_its_source(self, tmp_path):
+        collection = GraphCollection(tmp_path)
+        opened = collection.open("DBLP")
+        info = source_of(opened)
+        assert info is not None
+        assert info.path == str(collection.path_for("DBLP"))
+
+    def test_unknown_dataset_rejected_before_touching_disk(self, tmp_path):
+        collection = GraphCollection(tmp_path)
+        with pytest.raises(DatasetNotFoundError):
+            collection.open("NOPE")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_info_none_until_materialized(self, tmp_path):
+        collection = GraphCollection(tmp_path)
+        assert collection.info("DBLP") is None
+        collection.materialize("DBLP")
+        info = collection.info("DBLP")
+        assert info is not None and info.kind == "graph"
+
+
+class TestDefaultCollection:
+    def test_env_root_is_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "stores"))
+        reset_default_collection()
+        try:
+            assert default_store_root() == tmp_path / "stores"
+            assert default_collection().root == tmp_path / "stores"
+        finally:
+            reset_default_collection()
+
+    def test_rebinds_when_env_changes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "a"))
+        reset_default_collection()
+        try:
+            first = default_collection()
+            monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "b"))
+            second = default_collection()
+            assert first.root != second.root
+            assert second.root == tmp_path / "b"
+        finally:
+            reset_default_collection()
+
+    def test_fallback_root_is_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        root = default_store_root()
+        assert root.name == "repro"
+        assert root.parent.name == ".cache"

@@ -68,6 +68,7 @@ class TestTrace:
             "references": 1,
             "backend": "numpy",
             "workers": None,
+            "source": example_file,
         }
         assert len(record.probe_events()) == record.result["num_traversals"]
         assert record.counters["traversal_runs"] == record.result[
@@ -189,6 +190,98 @@ class TestApproxEstimator:
     def test_bad_estimator_rejected(self, example_file):
         with pytest.raises(SystemExit):
             main(["approx", example_file, "--estimator", "magic"])
+
+
+class TestStore:
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self, tmp_path, monkeypatch):
+        from repro.datasets import reset_default_collection
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "stores"))
+        reset_default_collection()
+        yield
+        reset_default_collection()
+
+    def test_store_build_and_info(self, capsys):
+        assert main(["store", "build", "DBLP"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLP" in out
+        assert main(["store", "info", "store://DBLP"]) == 0
+        out = capsys.readouterr().out
+        assert "kind" in out and "fingerprint" in out
+
+    def test_store_build_is_cached(self, capsys):
+        assert main(["store", "build", "DBLP"]) == 0
+        first = capsys.readouterr().out
+        assert main(["store", "build", "DBLP"]) == 0
+        second = capsys.readouterr().out
+        assert "cached" in second or first != ""  # second run hits the file
+
+    def test_store_verify(self, capsys):
+        assert main(["store", "build", "DBLP"]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "DBLP"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_store_verify_detects_corruption(self, tmp_path, capsys):
+        from repro.datasets import default_collection
+
+        assert main(["store", "build", "DBLP"]) == 0
+        path = default_collection().path_for("DBLP")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert main(["store", "verify", "DBLP"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_ecc_on_store_url(self, capsys):
+        assert main(["store", "build", "DBLP"]) == 0
+        capsys.readouterr()
+        assert main(["ecc", "store://DBLP"]) == 0
+        assert "radius=" in capsys.readouterr().out
+
+    def test_ecc_on_rcsr_path(self, tmp_path, capsys):
+        from repro.graph.io import save_store
+
+        path = tmp_path / "example.rcsr"
+        save_store(paper_example_graph(), path)
+        assert main(["ecc", str(path)]) == 0
+        assert "radius=3 diameter=5" in capsys.readouterr().out
+
+    def test_store_trace_records_fingerprint(self, tmp_path):
+        import json
+
+        from repro.datasets import default_collection
+
+        assert main(["store", "build", "DBLP"]) == 0
+        trace_path = tmp_path / "rec.jsonl"
+        assert main(
+            ["ecc", "store://DBLP", "--trace", str(trace_path)]
+        ) == 0
+        with trace_path.open() as handle:
+            header = json.loads(handle.readline())
+        store_meta = header["config"]["store"]
+        assert store_meta["path"] == str(
+            default_collection().path_for("DBLP")
+        )
+        assert len(store_meta["fingerprint"]) == 16
+
+    def test_store_url_matches_dataset_result(self, tmp_path, capsys):
+        store_out = tmp_path / "store.txt"
+        dataset_out = tmp_path / "dataset.txt"
+        assert main(["ecc", "store://DBLP", "-o", str(store_out)]) == 0
+        assert main(["ecc", "DBLP", "-o", str(dataset_out)]) == 0
+        assert (
+            np.loadtxt(store_out).tolist() == np.loadtxt(dataset_out).tolist()
+        )
+
+    def test_store_build_unknown_name(self, capsys):
+        assert main(["store", "build", "NOPE"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_info_missing_target(self, tmp_path, capsys):
+        assert main(["store", "info", str(tmp_path / "absent.rcsr")]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestBackendFlags:

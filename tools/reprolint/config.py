@@ -48,6 +48,8 @@ CSR_MUTATION_ALLOWLIST = frozenset(
         # Rebuilds frozen zero-copy graph views on shared-memory attach;
         # a constructor in everything but name.
         "src/repro/parallel/shm.py",
+        # Same pattern over mmap'd .rcsr store pages (graph_from_arrays).
+        "src/repro/store/format.py",
     }
 )
 
@@ -173,6 +175,15 @@ SHARED_STATE = {
     },
     "src/repro/datasets/loader.py": {
         "_CACHE": ("load_dataset", "clear_cache"),
+    },
+    "src/repro/datasets/collection.py": {
+        "_DEFAULT_COLLECTION": (
+            "default_collection",
+            "reset_default_collection",
+        ),
+    },
+    "src/repro/store/format.py": {
+        "_SOURCES": ("register_source", "source_of"),
     },
     "src/repro/obs/trace.py": {
         "_ACTIVE": ("get_tracer", "set_tracer", "tracing"),
