@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel bench-store examples results clean lint typecheck check
+.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel bench-msbfs bench-store examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -61,6 +61,14 @@ bench-smoke:
 # Honest on constrained hosts: the JSON records effective_cpus.
 bench-parallel:
 	python benchmarks/bench_bfs_engine.py --shootout-only --repeats 1
+
+# MS-BFS engine shootout at full scale: seed lane kernel vs. the
+# direction-optimizing lane engine vs. the looped single-source hybrid
+# on 64-source batches (plus the 128/256-lane width-scaling ladder).
+# Writes BENCH_msbfs_engine.json; exits non-zero if the hybrid lanes
+# miss the 2x ecc-batch target on the power-law graph.
+bench-msbfs:
+	PYTHONPATH=src:benchmarks python benchmarks/bench_msbfs_engine.py
 
 # Graph-store cold-open ladder (parse vs. npz vs. mmap open) on the
 # full stand-in ladder; writes BENCH_graph_store.json at the repo root

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.ffo import compute_ffo
+from repro.core.ffo import compute_ffos
 from repro.core.stratify import stratify
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
@@ -56,10 +56,10 @@ def repetition_ratio(
     references = graph.top_degree_vertices(num_references)
     if len(references) == 0:
         raise InvalidParameterError("graph has no vertices")
-    fronts = []
-    for z in references:
-        ffo = compute_ffo(graph, int(z), counter=counter)
-        fronts.append(set(int(v) for v in ffo.prefix(num)))
+    fronts = [
+        set(int(v) for v in ffo.prefix(num))
+        for ffo in compute_ffos(graph, references, counter=counter)
+    ]
     common = set.intersection(*fronts)
     union = set.union(*fronts)
     return RepetitionPoint(num=num, common=len(common), union=len(union))
@@ -72,7 +72,7 @@ def repetition_curve(
 ) -> List[RepetitionPoint]:
     """The full Figure 5 series (FFOs computed once, fronts sliced)."""
     references = graph.top_degree_vertices(num_references)
-    ffos = [compute_ffo(graph, int(z)) for z in references]
+    ffos = compute_ffos(graph, references)
     points = []
     for num in nums:
         if num < 1:

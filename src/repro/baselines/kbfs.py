@@ -28,12 +28,10 @@ from repro.core.bounds import BoundState
 from repro.core.result import EccentricityResult
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
-from repro.graph.traversal import (
-    TraversalCounter,
-    eccentricity_and_distances,
-    multi_source_bfs,
-)
+from repro.graph.msengine import batch_distance_rows
+from repro.graph.traversal import TraversalCounter, multi_source_bfs
 from repro.obs.trace import Stopwatch
+from repro.sentinels import UNREACHED
 
 __all__ = ["kbfs_eccentricities"]
 
@@ -73,10 +71,15 @@ def kbfs_eccentricities(
     num_random = max(1, k // 2)
     random_sources = rng.choice(n, size=num_random, replace=False)
 
-    for s in random_sources:
-        ecc_s, dist_s = eccentricity_and_distances(
-            graph, int(s), counter=counter
-        )
+    # Both sampling stages draw their distance rows from shared MS-BFS
+    # lane sweeps; bound updates stay in the historical per-source
+    # order, so the resulting bounds are bit-identical to the loop.
+    random_rows = batch_distance_rows(
+        graph, random_sources.astype(np.int64), counter=counter
+    )
+    for i, s in enumerate(random_sources):
+        dist_s = random_rows[i]
+        ecc_s = int(dist_s[dist_s != UNREACHED].max())
         bounds.set_exact(int(s), ecc_s)
         bounds.apply_lemma31(dist_s, ecc_s)
 
@@ -93,10 +96,12 @@ def kbfs_eccentricities(
         score = near_dist.astype(np.int64)
         score[random_sources] = -1  # never re-elect a sampled source
         elected = np.argsort(-score, kind="stable")[:num_elected]
-        for s in elected:
-            ecc_s, dist_s = eccentricity_and_distances(
-                graph, int(s), counter=counter
-            )
+        elected_rows = batch_distance_rows(
+            graph, elected.astype(np.int64), counter=counter
+        )
+        for i, s in enumerate(elected):
+            dist_s = elected_rows[i]
+            ecc_s = int(dist_s[dist_s != UNREACHED].max())
             bounds.set_exact(int(s), ecc_s)
             bounds.apply_lemma31(dist_s, ecc_s)
             sources.append(int(s))

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.result import EccentricityResult
+from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.traversal import TraversalCounter, eccentricity_and_distances
 from repro.obs.trace import Stopwatch
@@ -26,17 +27,26 @@ def naive_eccentricities(
     counter: Optional[TraversalCounter] = None,
     backend: str = "numpy",
     workers: Optional[int] = None,
+    traversal: str = "batch",
 ) -> EccentricityResult:
     """Exact ED with one BFS per vertex (eccentricity within components).
 
     ``backend="numpy"`` (default) runs the sweep in-process;
     ``backend="process"`` dispatches source chunks to ``workers``
-    worker processes over the shared-memory CSR.  Both produce the same
-    eccentricities bit for bit; the algorithm tag records which path
-    (and how many workers) actually ran.
+    worker processes over the shared-memory CSR.  ``traversal`` picks
+    the in-process sweep flavour: ``"batch"`` (default) shares
+    bit-parallel MS-BFS lane sweeps via :meth:`repro.graph.engine.
+    BFSEngine.ecc_batch`, ``"loop"`` keeps the historical one-BFS-per-
+    vertex loop (the honest quadratic straw man for ablations).  All
+    paths produce the same eccentricities bit for bit; the algorithm
+    tag records which backend (and how many workers) actually ran.
 
     :dtype ecc: int32
     """
+    if traversal not in ("batch", "loop"):
+        raise InvalidParameterError(
+            f"traversal must be 'batch' or 'loop', got {traversal!r}"
+        )
     counter = counter if counter is not None else TraversalCounter()
     watch = Stopwatch()
     n = graph.num_vertices
@@ -46,6 +56,13 @@ def naive_eccentricities(
         pool = pool_for(graph, workers=workers)
         ecc = pool.eccentricities(counter=counter)
         algorithm = f"Naive(process x{pool.workers})"
+    elif traversal == "batch":
+        from repro.graph.engine import engine_for
+
+        ecc = engine_for(graph).ecc_batch(
+            np.arange(n, dtype=np.int64), counter=counter
+        )
+        algorithm = "Naive"
     else:
         ecc = np.zeros(n, dtype=np.int32)
         for v in range(n):

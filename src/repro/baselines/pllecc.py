@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.ffo import compute_ffo
+from repro.core.ffo import compute_ffos
 from repro.core.result import EccentricityResult
 from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.csr import Graph
@@ -111,8 +111,7 @@ def pllecc_eccentricities(
     ecc_watch = Stopwatch()
     references = graph.top_degree_vertices(min(num_references, n))
     ffos = []
-    for z in references:
-        ffo = compute_ffo(graph, int(z), counter=counter)
+    for ffo in compute_ffos(graph, references, counter=counter):
         if np.any(ffo.distances == UNREACHED):
             from repro.graph.components import connected_components
 

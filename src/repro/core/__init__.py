@@ -45,7 +45,12 @@ from repro.core.extremes import (
     oracle_radius_and_diameter,
     radius_and_diameter,
 )
-from repro.core.ffo import FarthestFirstOrder, compute_ffo, farthest_first_order
+from repro.core.ffo import (
+    FarthestFirstOrder,
+    compute_ffo,
+    compute_ffos,
+    farthest_first_order,
+)
 from repro.core.framework import (
     AlternatingBoundSelector,
     BFSFramework,
@@ -79,6 +84,7 @@ __all__ = [
     "oracle_radius_and_diameter",
     "FarthestFirstOrder",
     "compute_ffo",
+    "compute_ffos",
     "farthest_first_order",
     "BFSFramework",
     "AlternatingBoundSelector",

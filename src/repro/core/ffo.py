@@ -13,7 +13,7 @@ reproducible (the paper leaves tie order unspecified).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -22,7 +22,12 @@ from repro.graph.engine import BFSEngine, engine_for
 from repro.graph.traversal import TraversalCounter
 from repro.sentinels import unreached_mask
 
-__all__ = ["FarthestFirstOrder", "farthest_first_order", "compute_ffo"]
+__all__ = [
+    "FarthestFirstOrder",
+    "farthest_first_order",
+    "compute_ffo",
+    "compute_ffos",
+]
 
 
 @dataclass(frozen=True)
@@ -118,3 +123,26 @@ def compute_ffo(
         engine = engine_for(graph)
     distances = engine.run(source, counter=counter).copy()
     return farthest_first_order(distances, source)
+
+
+def compute_ffos(
+    graph: Graph,
+    sources: Sequence[int],
+    counter: Optional[TraversalCounter] = None,
+) -> List[FarthestFirstOrder]:
+    """FFOs for many references from one batched distance sweep.
+
+    Equivalent to ``[compute_ffo(graph, z) for z in sources]`` but the
+    traversals share bit-parallel MS-BFS lane sweeps
+    (:func:`repro.graph.msengine.batch_distance_rows`) — the multi-
+    reference seeding step of Algorithm 2 pays one sweep per lane group
+    instead of one BFS per reference.  Each FFO owns its distance row.
+    """
+    from repro.graph.msengine import batch_distance_rows
+
+    src = np.ascontiguousarray(sources, dtype=np.int64)
+    rows = batch_distance_rows(graph, src, counter=counter)
+    return [
+        farthest_first_order(rows[i], int(src[i]))
+        for i in range(len(src))
+    ]

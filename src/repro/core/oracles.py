@@ -223,17 +223,19 @@ class BFSOracle:
         """Full distance vectors, one caller-owned row per source.
 
         Used by reference scans that need every ``dist(z, .)`` — the
-        batched sibling of calling :meth:`source_probe` in a loop.
+        batched sibling of calling :meth:`source_probe` in a loop.  The
+        numpy backend runs the bit-parallel lane sweeps of
+        :func:`repro.graph.msengine.batch_distance_rows` (identical
+        rows, one sweep per lane group instead of one BFS per source).
 
         :dtype rows: int32
         """
         if self.backend == "process":
             return self.pool.distance_rows(sources, counter=counter)
+        from repro.graph.msengine import batch_distance_rows
+
         src = np.ascontiguousarray(sources, dtype=np.int64)
-        rows = np.empty((len(src), self.num_vertices), dtype=np.int32)
-        for i in range(len(src)):
-            rows[i, :] = self.engine.run(int(src[i]), counter=counter)
-        return rows
+        return batch_distance_rows(self.graph, src, counter=counter)
 
     def select_references(
         self, strategy: str, count: int, seed: int

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.bounds import INFINITE_ECC
-from repro.core.ffo import FarthestFirstOrder, compute_ffo
+from repro.core.ffo import FarthestFirstOrder, compute_ffos
 from repro.errors import InvalidParameterError
 from repro.graph.csr import Graph
 from repro.graph.traversal import TraversalCounter, bfs_distances
@@ -71,7 +71,7 @@ def probe_numbers(
     refs = [int(z) for z in references]
     if len(refs) == 0:
         raise InvalidParameterError("at least one reference node required")
-    ffos = {z: compute_ffo(graph, z, counter=counter) for z in refs}
+    ffos = dict(zip(refs, compute_ffos(graph, refs, counter=counter)))
     counts = {z: np.zeros(len(ffos[z].order), dtype=np.int64) for z in refs}
     territory_sizes = {z: 0 for z in refs}
 

@@ -32,11 +32,7 @@ from repro.core.extremes import ExtremesResult, oracle_radius_and_diameter
 from repro.core.result import EccentricityResult
 from repro.core.solver import EccentricitySolver
 from repro.directed.graph import DirectedGraph
-from repro.directed.traversal import (
-    DirectedBFSOracle,
-    backward_bfs,
-    forward_bfs,
-)
+from repro.directed.traversal import DirectedBFSOracle
 from repro.errors import DisconnectedGraphError, InvalidParameterError
 from repro.graph.traversal import TraversalCounter
 from repro.obs.trace import Stopwatch
@@ -54,26 +50,24 @@ __all__ = [
 def naive_directed_eccentricities(
     graph: DirectedGraph,
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """One forward BFS per vertex — the directed oracle.
 
     Requires strong connectivity (raises otherwise).
+    ``backend="process"`` fans the per-vertex forward sweeps across a
+    shared-memory worker pool with bit-identical output.
     """
-    n = graph.num_vertices
-    ecc = np.zeros(n, dtype=np.int32)
-    for v in range(n):
-        dist = forward_bfs(graph, v, counter=counter)
-        if np.any(dist == UNREACHED) and n > 1:
-            raise DisconnectedGraphError(
-                2, "directed graph is not strongly connected"
-            )
-        ecc[v] = int(dist.max()) if n else 0
-    return ecc
+    oracle = DirectedBFSOracle(graph, backend=backend, workers=workers)
+    return oracle.ecc_all(counter=counter)
 
 
 def directed_eccentricities(
     graph: DirectedGraph,
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> EccentricityResult:
     """Exact forward eccentricities with bound propagation.
 
@@ -81,13 +75,17 @@ def directed_eccentricities(
     (periphery probe) with the smallest-lower-bound vertex (center
     probe), each costing a forward + backward BFS pair.  Bound
     maintenance runs on :class:`BoundState` with the directed Lemma 3.1
-    (the ``dist_from_t`` hook).
+    (the ``dist_from_t`` hook).  With ``backend="process"`` each probe
+    pair is dispatched to the worker pool (forward and backward BFS run
+    concurrently on separate workers); the algorithm tag records which
+    backend actually ran.
     """
     n = graph.num_vertices
     if n == 0:
         raise InvalidParameterError("graph must have at least one vertex")
     counter = counter if counter is not None else TraversalCounter()
     watch = Stopwatch()
+    oracle = DirectedBFSOracle(graph, backend=backend, workers=workers)
 
     bounds = BoundState(n)
     pick_upper = True
@@ -101,13 +99,12 @@ def directed_eccentricities(
             source = int(unresolved[np.argmin(bounds.lower[unresolved])])
         pick_upper = not pick_upper
 
-        fwd = forward_bfs(graph, source, counter=counter)
+        ecc_probe, fwd, bwd = oracle.source_probe(source, counter=counter)
         if np.any(fwd == UNREACHED) and n > 1:
             raise DisconnectedGraphError(
                 2, "directed graph is not strongly connected"
             )
-        bwd = backward_bfs(graph, source, counter=counter)
-        ecc_s = int(fwd.max()) if n else 0
+        ecc_s = int(ecc_probe)
         # ecc(v) >= max(dist(v, t), ecc(t) - dist(t, v));
         # ecc(v) <= dist(v, t) + ecc(t).
         bounds.apply_lemma31(bwd, ecc_s, dist_from_t=fwd)
@@ -115,12 +112,15 @@ def directed_eccentricities(
 
     elapsed = watch.elapsed()
     ecc = bounds.lower.astype(np.int32)
+    algorithm = "DirectedECC"
+    if backend == "process":
+        algorithm = f"DirectedECC(process x{oracle.pool.workers})"
     return EccentricityResult(
         eccentricities=ecc,
         lower=ecc.copy(),
         upper=ecc.copy(),
         exact=True,
-        algorithm="DirectedECC",
+        algorithm=algorithm,
         num_bfs=counter.bfs_runs,
         elapsed_seconds=elapsed,
         counter=counter,
@@ -131,15 +131,18 @@ def directed_solver(
     graph: DirectedGraph,
     counter: Optional[TraversalCounter] = None,
     memoize_distances: bool = False,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> EccentricitySolver:
     """An :class:`EccentricitySolver` over the directed BFS oracle.
 
     The solver's :meth:`~EccentricitySolver.steps` iterator is the
     directed anytime mode: each snapshot leaves valid forward-ecc
-    bounds in ``solver.bounds``.
+    bounds in ``solver.bounds``.  ``backend``/``workers`` configure the
+    oracle's traversal backend (:class:`DirectedBFSOracle`).
     """
     return EccentricitySolver(
-        DirectedBFSOracle(graph),
+        DirectedBFSOracle(graph, backend=backend, workers=workers),
         num_references=1,
         memoize_distances=memoize_distances,
         counter=counter,
@@ -149,6 +152,8 @@ def directed_solver(
 def directed_ifecc_eccentricities(
     graph: DirectedGraph,
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> EccentricityResult:
     """Exact forward eccentricities with the IFECC scheme carried over
     to digraphs.
@@ -170,13 +175,20 @@ def directed_ifecc_eccentricities(
     cap closes the parity-stuck vertices wholesale — the same reason
     IFECC beats BoundECC on undirected graphs.
     """
-    solver = directed_solver(graph, counter=counter)
-    return solver.run(algorithm="DirectedIFECC")
+    solver = directed_solver(
+        graph, counter=counter, backend=backend, workers=workers
+    )
+    algorithm = "DirectedIFECC"
+    if backend == "process":
+        algorithm = f"DirectedIFECC(process x{solver.oracle.pool.workers})"
+    return solver.run(algorithm=algorithm)
 
 
 def directed_radius_and_diameter(
     graph: DirectedGraph,
     counter: Optional[TraversalCounter] = None,
+    backend: str = "numpy",
+    workers: Optional[int] = None,
 ) -> ExtremesResult:
     """Certified directed radius and diameter with early termination.
 
@@ -185,4 +197,7 @@ def directed_radius_and_diameter(
     both certificates close after a handful of pairs instead of the full
     eccentricity computation.
     """
-    return oracle_radius_and_diameter(DirectedBFSOracle(graph), counter=counter)
+    return oracle_radius_and_diameter(
+        DirectedBFSOracle(graph, backend=backend, workers=workers),
+        counter=counter,
+    )

@@ -9,7 +9,7 @@ single *backward* BFS that yields no forward eccentricity.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,13 @@ from repro.errors import (
 from repro.graph.traversal import TraversalCounter
 from repro.sentinels import UNREACHED
 from repro.directed.graph import DirectedGraph
+
+if TYPE_CHECKING:  # runtime import is lazy (multiprocessing is heavy)
+    from repro.parallel.pool import TraversalPool
+
+#: The traversal backends a :class:`DirectedBFSOracle` can select
+#: (mirrors :data:`repro.core.oracles.BACKENDS`).
+_BACKENDS = ("numpy", "process")
 
 __all__ = [
     "forward_bfs",
@@ -133,9 +140,65 @@ class DirectedBFSOracle:
     metric_name = "DirectedIFECC"
     trace_kind = "bfs-directed"
 
-    def __init__(self, graph: DirectedGraph) -> None:
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        backend: str = "numpy",
+        workers: Optional[int] = None,
+        pool: Optional["TraversalPool"] = None,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
         self.graph = graph
         self.num_vertices = graph.num_vertices
+        self.backend = backend
+        self.workers = workers
+        self._pool = pool
+
+    @property
+    def pool(self) -> "TraversalPool":
+        """The lazily-created worker pool (``backend="process"`` only)."""
+        if self._pool is None or self._pool.closed:
+            from repro.parallel.pool import pool_for
+
+            self._pool = pool_for(self.graph, workers=self.workers)
+        return self._pool
+
+    def ecc_all(
+        self,
+        sources: Optional[Sequence[int]] = None,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Forward eccentricities for ``sources`` (default: all vertices).
+
+        Raises :class:`DisconnectedGraphError` when any source fails to
+        reach the whole graph — directed eccentricities are only finite
+        on strongly connected digraphs.
+
+        :dtype: int32
+        """
+        n = self.num_vertices
+        if sources is None:
+            src = np.arange(n, dtype=np.int64)
+        else:
+            src = np.asarray(sources, dtype=np.int64)
+            bad = (src < 0) | (src >= n)
+            if np.any(bad):
+                raise InvalidVertexError(int(src[bad][0]), n)
+        if self.backend == "process":
+            ecc = self.pool.directed_eccentricities(src, counter=counter)
+            if n > 1 and np.any(ecc < 0):
+                raise self.disconnected_error()
+            return ecc
+        ecc = np.zeros(len(src), dtype=np.int32)
+        for i, s in enumerate(src):
+            dist = forward_bfs(self.graph, int(s), counter=counter)
+            if n > 1 and np.any(dist == UNREACHED):
+                raise self.disconnected_error()
+            ecc[i] = int(dist.max()) if n else 0
+        return ecc
 
     def select_references(
         self, strategy: str, count: int, seed: int
@@ -155,12 +218,19 @@ class DirectedBFSOracle:
         source: int,
         counter: Optional[TraversalCounter] = None,
     ) -> Tuple[float, np.ndarray, np.ndarray]:
-        fwd = sanitize.assert_owned(
-            forward_bfs(self.graph, source, counter=counter)
-        )
-        bwd = sanitize.assert_owned(
-            backward_bfs(self.graph, source, counter=counter)
-        )
+        if self.backend == "process":
+            # One round trip ships the forward + backward pair: the two
+            # traversals land on separate workers and run concurrently.
+            rows = self.pool.directed_probe_pair(source, counter=counter)
+            fwd = sanitize.assert_owned(rows[0].copy())
+            bwd = sanitize.assert_owned(rows[1].copy())
+        else:
+            fwd = sanitize.assert_owned(
+                forward_bfs(self.graph, source, counter=counter)
+            )
+            bwd = sanitize.assert_owned(
+                backward_bfs(self.graph, source, counter=counter)
+            )
         ecc = int(fwd.max()) if self.num_vertices else 0
         return ecc, fwd, bwd
 

@@ -15,6 +15,13 @@ from repro.graph.components import (
 )
 from repro.graph.csr import Graph
 from repro.graph.msbfs import msbfs_eccentricities, multi_source_distances
+from repro.graph.msengine import (
+    MSBFSEngine,
+    MSBFSRunStats,
+    batch_distance_rows,
+    msengine_for,
+    plan_lane_width,
+)
 from repro.graph.paths import bfs_parents, diameter_path, shortest_path
 from repro.graph.traversal import (
     UNREACHED,
@@ -33,6 +40,11 @@ __all__ = [
     "BFSEngine",
     "BFSRunStats",
     "engine_for",
+    "MSBFSEngine",
+    "MSBFSRunStats",
+    "batch_distance_rows",
+    "msengine_for",
+    "plan_lane_width",
     "UNREACHED",
     "bfs_distances",
     "eccentricity",

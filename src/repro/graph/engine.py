@@ -406,24 +406,43 @@ bfs_distances` wrapper) must copy.
         out: Optional[np.ndarray] = None,
         counter: Optional["TraversalCounter"] = None,
     ) -> np.ndarray:
-        """Eccentricity of every source, one pooled BFS each.
+        """Eccentricity of every source, batched through the MS engine.
 
         ``out[i]`` receives ``ecc(sources[i])`` (within the source's
         component — the max level reached, matching :attr:`last_ecc`).
-        This is the unit of work the process backend
-        (:mod:`repro.parallel.pool`) ships to each worker, and the
-        single-process fallback for ``workers=1`` comparisons: results
-        are bit-identical either way because both run this loop.
+        Large batches run the bit-parallel multi-source sweeps of
+        :class:`repro.graph.msengine.MSBFSEngine` in the lane width
+        :func:`~repro.graph.msengine.plan_lane_width` picks; small
+        batches loop this engine.  Either way the per-source distances
+        — and therefore the eccentricities — are bit-identical, and the
+        counter is credited one traversal per source.  This is the unit
+        of work the process backend (:mod:`repro.parallel.pool`) ships
+        to each worker, which is what puts the lane kernel under the
+        64-lane chunk dispatch.
 
         :mutates out: ``out[i]`` is overwritten with ``ecc(sources[i])``.
         :dtype out: int32
         """
+        from repro.graph.msengine import msengine_for, plan_lane_width
+
         src = np.ascontiguousarray(sources, dtype=np.int64)
         if out is None:
             out = np.empty(len(src), dtype=np.int32)
-        for i in range(len(src)):
-            self.run(int(src[i]), counter=counter)
-            out[i] = self.last_ecc
+        width = plan_lane_width(self._n, self._arcs, len(src))
+        if width == 0:
+            for i in range(len(src)):
+                self.run(int(src[i]), counter=counter)
+                out[i] = self.last_ecc
+            return out
+        ms = msengine_for(self.graph)
+        for start in range(0, len(src), width):
+            batch = src[start: start + width]
+            # The engine reduces eccentricities straight off its sweep
+            # buffer (an isolated source maps to 0, matching last_ecc);
+            # no (k, n) distance matrix is materialised here.
+            out[start: start + len(batch)] = ms.ecc_batch(
+                batch, counter=counter
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -433,24 +452,36 @@ bfs_distances` wrapper) must copy.
         self,
         sources: Sequence[int],
         counter: Optional["TraversalCounter"] = None,
+        strategy: str = "union",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Nearest-source distances and winning source per vertex.
 
         Matches :func:`repro.graph.traversal.multi_source_bfs` exactly
-        (ties go to the source earliest in ``sources``) but runs the
-        ``np.lexsort`` + ``np.unique`` tie-break pair only on levels
-        where a vertex was actually discovered twice — with one source,
-        or on collision-free levels, a plain dedupe suffices.
+        (ties go to the source earliest in ``sources``).  The default
+        ``strategy="union"`` grows all regions in one shared traversal
+        — O(m) total, since every arc is expanded at most once — and
+        runs the ``np.lexsort`` + ``np.unique`` tie-break pair only on
+        levels where a vertex was actually discovered twice.
+        ``strategy="lanes"`` instead computes every source's full
+        distance vector on the bit-parallel MS engine and reduces to
+        the per-vertex winner; that costs O(m · levels) like any
+        per-source batch (which is why it is *not* the default — see
+        DESIGN.md) and accordingly credits the counter one traversal
+        per distinct source, but the returned arrays are identical.
 
         Returns pooled buffers, valid until the next engine call.
         Under ``REPRO_SANITIZE=1`` both are read-only guarded loans.
         """
+        if strategy not in ("union", "lanes"):
+            raise InvalidParameterError(
+                f"unknown run_multi strategy: {strategy!r}"
+            )
         guard = self._guard
         if guard is None:
-            return self._run_multi_impl(sources, counter)
+            return self._run_multi_impl(sources, counter, strategy)
         guard.begin_run()
         try:
-            dist, owner = self._run_multi_impl(sources, counter)
+            dist, owner = self._run_multi_impl(sources, counter, strategy)
         finally:
             guard.end_run()
         return (
@@ -462,6 +493,7 @@ bfs_distances` wrapper) must copy.
         self,
         sources: Sequence[int],
         counter: Optional["TraversalCounter"],
+        strategy: str = "union",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The multi-source traversal; returns the raw pooled buffers.
 
@@ -486,6 +518,8 @@ bfs_distances` wrapper) must copy.
         # priority[s] = first position of s in `sources` (earlier wins).
         priority.fill(n)
         np.minimum.at(priority, src, np.arange(len(src), dtype=np.int64))
+        if strategy == "lanes":
+            return self._run_multi_lanes(src, dist, owner, priority, counter)
         frontier = np.unique(src)
         dist[frontier] = 0
         owner[frontier] = frontier
@@ -538,6 +572,50 @@ bfs_distances` wrapper) must copy.
                 num_sources=int(len(src)),
                 levels=level,
                 edges_scanned=edges,
+            )
+        return dist, owner
+
+    def _run_multi_lanes(
+        self,
+        src: np.ndarray,
+        dist: np.ndarray,
+        owner: np.ndarray,
+        priority: np.ndarray,
+        counter: Optional["TraversalCounter"],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-source lane rows reduced to the nearest-source winner.
+
+        For each vertex the winner is the minimum-distance source, ties
+        broken by the smallest priority (first position in ``sources``)
+        — provably the same assignment the union traversal's owner
+        propagation produces, because a claimed vertex's owner always
+        achieves the minimum distance with the best priority among
+        co-minimal sources.
+
+        :mutates dist: overwritten with the nearest-source distances.
+        :mutates owner: overwritten with the winning source per vertex.
+        :dtype rows: int32
+        """
+        from repro.graph.msengine import batch_distance_rows
+
+        uniq = np.unique(src)
+        # Rows ordered best-priority-first so argmin's first-hit rule
+        # *is* the tie-break.
+        ordered = uniq[np.argsort(priority[uniq], kind="stable")]
+        rows = batch_distance_rows(self.graph, ordered, counter=counter)
+        key = np.where(rows == UNREACHED, np.iinfo(np.int32).max, rows)
+        best = np.argmin(key, axis=0)
+        nearest = rows[best, np.arange(self._n, dtype=np.int64)]
+        dist[:] = nearest
+        owner[:] = np.where(nearest == UNREACHED, -1, ordered[best]).astype(
+            np.int32
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "bfs.run_multi",
+                num_sources=int(len(src)),
+                strategy="lanes",
             )
         return dist, owner
 

@@ -1,4 +1,4 @@
-"""Bit-parallel multi-source BFS (MS-BFS).
+"""Bit-parallel multi-source BFS (MS-BFS) — the batch-traversal API.
 
 Then et al., *The More the Merrier: Efficient Multi-Source Graph
 Traversal* (VLDB 2014) — the paper's reference [35] — showed that up to
@@ -11,35 +11,42 @@ benefit.  It does not help IFECC itself (whose whole point is to need
 very few traversals), which is why the paper's algorithm does not use
 it; we provide it as the honest fast path for the baselines.
 
-The level-synchronous update per sweep is::
-
-    next[v]  = OR over u in N(v) of frontier[u]
-    next    &= ~seen
-    dist[b][v] = level  where bit b newly set
-
-vectorised with ``numpy.bitwise_or.at``.
+The sweeps themselves live in :mod:`repro.graph.msengine` since the
+direction-optimizing rewrite: :class:`~repro.graph.msengine.MSBFSEngine`
+runs the lane kernel top-down *or* bottom-up per level (Beamer-style
+switching over the lanes' aggregate frontier arc mass) and supports
+64/128/256-lane words.  This module keeps the historical entry points —
+:func:`lane_batch_distances` (one ≤64-source sweep, the process-worker
+task unit), :func:`multi_source_distances`, and
+:func:`msbfs_eccentricities` — as thin routers over the engine, with
+identical results: lane packing and direction choice never change the
+level-synchronous distances.
 
 Like the single-source engine (:mod:`repro.graph.engine`), the lane
 bitmaps follow the pooled-workspace discipline: the ``uint64`` ``seen``
 / ``frontier`` / ``next`` buffers are allocated once per graph (weakly
 cached, safe because the CSR is immutable) and zeroed in place between
-batches, so sweeping hundreds of 64-lane batches stops paying three
-``O(n)`` allocations per batch — and one more per level.
+batches — :class:`_LaneWorkspace` is now an alias of the engine's
+pooled :class:`~repro.graph.msengine._MSWorkspace`.
 """
 
 from __future__ import annotations
 
-import threading
-import weakref
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro import sanitize
 from repro.errors import InvalidParameterError, InvalidVertexError
 from repro.graph.csr import Graph
-from repro.graph.engine import gather_csr_arcs
+from repro.graph.msengine import (
+    LANE_WORD_BITS,
+    _MSWorkspace,
+    batch_distance_rows,
+    msengine_for,
+    plan_lane_width,
+)
 from repro.graph.traversal import TraversalCounter
+from repro.sentinels import UNREACHED
 
 __all__ = [
     "multi_source_distances",
@@ -47,134 +54,20 @@ __all__ = [
     "lane_batch_distances",
 ]
 
-_LANES = 64
+_LANES = LANE_WORD_BITS
 
-
-class _LaneWorkspace:
-    """Pooled ``uint64`` bitmaps for one graph's MS-BFS sweeps.
-
-    :dtype seen: uint64
-    :dtype frontier: uint64
-    :dtype next_mask: uint64
-    """
-
-    __slots__ = ("seen", "frontier", "next_mask", "guard", "__weakref__")
-
-    def __init__(self, num_vertices: int) -> None:
-        self.seen = np.zeros(num_vertices, dtype=np.uint64)
-        self.frontier = np.zeros(num_vertices, dtype=np.uint64)
-        self.next_mask = np.zeros(num_vertices, dtype=np.uint64)
-        # None unless REPRO_SANITIZE is armed at construction time.
-        self.guard = sanitize.guard_if_enabled("_LaneWorkspace")
-
-    def reset(self) -> None:
-        """Zero every bitmap in place (start of a new batch)."""
-        self.seen.fill(0)
-        self.frontier.fill(0)
-        self.next_mask.fill(0)
-
-
-_WORKSPACES: "weakref.WeakKeyDictionary[Graph, _LaneWorkspace]" = (
-    weakref.WeakKeyDictionary()
-)
-_WORKSPACES_LOCK = threading.Lock()
+#: Historical name for the pooled lane bitmaps; the buffers (and their
+#: loan semantics) now belong to the MS engine's workspaces.
+_LaneWorkspace = _MSWorkspace
 
 
 def _workspace_for(graph: Graph) -> _LaneWorkspace:
-    """The cached lane workspace of ``graph`` (created on first use).
+    """The graph's pooled single-word lane workspace (created on use).
 
-    Serialized like :func:`repro.graph.engine.engine_for`: one pooled
-    workspace per graph even when threads race the first sweep.
+    Kept for callers of the historical seam; it is the MS engine's
+    one-word workspace, so sweeps through either API share bitmaps.
     """
-    with _WORKSPACES_LOCK:
-        work = _WORKSPACES.get(graph)
-        if work is None:
-            work = _LaneWorkspace(graph.num_vertices)
-            _WORKSPACES[graph] = work
-    return work
-
-
-def _batch_distances(
-    graph: Graph,
-    sources: np.ndarray,
-    counter: Optional[TraversalCounter],
-    work: _LaneWorkspace,
-) -> np.ndarray:
-    """Distances for up to 64 sources in one bit-parallel sweep.
-
-    :mutates work: the lane bitmaps are zeroed, updated level by level,
-        and buffer-swapped in place; the sweep owns them for its duration.
-    """
-    guard = work.guard
-    if guard is None:
-        return _batch_impl(graph, sources, counter, work)
-    guard.begin_run()
-    try:
-        return _batch_impl(graph, sources, counter, work)
-    finally:
-        guard.end_run()
-
-
-def _batch_impl(
-    graph: Graph,
-    sources: np.ndarray,
-    counter: Optional[TraversalCounter],
-    work: _LaneWorkspace,
-) -> np.ndarray:
-    """The sweep itself (guard bookkeeping handled by the caller).
-
-    :mutates work: zeroes and swaps the lane bitmaps in place.
-    :dtype dist: int32
-    """
-    n = graph.num_vertices
-    k = len(sources)
-    dist = np.full((k, n), -1, dtype=np.int32)
-    work.reset()
-    seen = work.seen
-    frontier = work.frontier
-    lanes = np.arange(k, dtype=np.uint64)
-    lane_bits = np.uint64(1) << lanes
-    np.bitwise_or.at(frontier, sources, lane_bits)
-    np.bitwise_or.at(seen, sources, lane_bits)
-    dist[lanes.astype(np.int64), sources] = 0
-
-    indptr, indices = graph.indptr, graph.indices
-    level = 0
-    edges = 0
-    active = np.flatnonzero(frontier)
-    while len(active):
-        level += 1
-        next_mask = work.next_mask
-        next_mask.fill(0)
-        # Expand only arcs whose source is active.
-        counts = indptr[active + 1] - indptr[active]
-        arc_dst, _seg = gather_csr_arcs(indptr, indices, active, counts)
-        total = len(arc_dst)
-        edges += total
-        if total == 0:
-            break
-        arc_masks = np.repeat(frontier[active], counts)
-        np.bitwise_or.at(next_mask, arc_dst, arc_masks)
-        next_mask &= ~seen
-        newly = np.flatnonzero(next_mask)
-        if len(newly) == 0:
-            break
-        seen[newly] |= next_mask[newly]
-        # Record the level for each (lane, vertex) newly reached: unpack
-        # the lane bits of every new vertex into a (len(newly), k) matrix
-        # in one shot instead of scanning the lanes in Python.
-        new_bits = (next_mask[newly, None] >> lanes) & np.uint64(1)
-        vert_idx, lane_idx = np.nonzero(new_bits)
-        dist[lane_idx, newly[vert_idx]] = level
-        # Swap the pooled bitmaps instead of reallocating: the old
-        # frontier becomes the next level's scratch.
-        work.frontier, work.next_mask = next_mask, frontier
-        frontier = next_mask
-        active = newly
-    if counter is not None:
-        counter.record(edges, int(np.count_nonzero(dist[0] >= 0)) * k)
-        counter.bfs_runs += k - 1  # the sweep stands in for k BFS runs
-    return dist
+    return msengine_for(graph)._workspace(1)
 
 
 def lane_batch_distances(
@@ -188,21 +81,19 @@ def lane_batch_distances(
     graph's pooled workspace.  This is what each process-backend worker
     (:mod:`repro.parallel.pool`) runs per ``msbfs_*`` task — workers own
     their process-local workspace cache, so lane groups parallelise
-    without sharing bitmaps.
+    without sharing bitmaps.  Since the direction-optimizing rewrite
+    the sweep switches top-down/bottom-up per level; distances are
+    bit-identical to the historical top-down-only kernel.
 
     :dtype src: int64
     :dtype dist: int32
     """
-    n = graph.num_vertices
     src = np.ascontiguousarray(sources, dtype=np.int64)
     if len(src) > _LANES:
         raise InvalidParameterError(
             f"a lane batch holds at most {_LANES} sources, got {len(src)}"
         )
-    if src.size and (src.min() < 0 or src.max() >= n):
-        bad = src[(src < 0) | (src >= n)][0]
-        raise InvalidVertexError(int(bad), n)
-    return _batch_distances(graph, src, counter, _workspace_for(graph))
+    return msengine_for(graph).run_batch(src, counter=counter)
 
 
 def multi_source_distances(
@@ -215,11 +106,14 @@ def multi_source_distances(
     """Full distance vectors for many sources via MS-BFS.
 
     Returns an ``(len(sources), n)`` matrix; row ``i`` equals
-    ``bfs_distances(graph, sources[i])``.  Sources are processed in
-    batches of 64 lanes; with ``backend="process"`` each lane group is
-    one worker task on the graph's :func:`repro.parallel.pool.pool_for`
-    pool (bit-identical — lane packing does not depend on which process
-    sweeps).
+    ``bfs_distances(graph, sources[i])``.  In process sources are cut
+    into lane groups as planned by
+    :func:`repro.graph.msengine.plan_lane_width`; duplicate sources
+    share one pooled lane and are expanded afterwards (each still
+    credited as one traversal).  With ``backend="process"`` each lane
+    group is one worker task on the graph's
+    :func:`repro.parallel.pool.pool_for` pool (bit-identical — lane
+    packing does not depend on which process sweeps).
 
     :dtype src: int64
     """
@@ -234,14 +128,7 @@ def multi_source_distances(
         return pool_for(graph, workers=workers).msbfs_distance_rows(
             src, counter=counter
         )
-    work = _workspace_for(graph)
-    out = np.empty((len(src), n), dtype=np.int32)
-    for start in range(0, len(src), _LANES):
-        batch = src[start: start + _LANES]
-        out[start: start + len(batch)] = _batch_distances(
-            graph, batch, counter, work
-        )
-    return out
+    return batch_distance_rows(graph, src, counter=counter)
 
 
 def msbfs_eccentricities(
@@ -253,7 +140,7 @@ def msbfs_eccentricities(
     """The naive exact ED computed with MS-BFS batches.
 
     Same quadratic work as :func:`repro.baselines.naive`, but each sweep
-    serves 64 sources — the fair "fast naive" baseline of [35].
+    serves a full lane group — the fair "fast naive" baseline of [35].
     Eccentricities are taken within components.  ``backend="process"``
     ships each lane group to a worker, which reduces its 64 rows to
     eccentricities before replying — ``O(k)`` ints cross the boundary
@@ -269,10 +156,11 @@ def msbfs_eccentricities(
             counter=counter
         )
     ecc = np.zeros(n, dtype=np.int32)
-    work = _workspace_for(graph)
-    for start in range(0, n, _LANES):
-        batch = np.arange(start, min(start + _LANES, n), dtype=np.int64)
-        dist = _batch_distances(graph, batch, counter, work)
-        reachable = np.where(dist >= 0, dist, -1)
-        ecc[batch] = reachable.max(axis=1)
+    width = plan_lane_width(n, int(len(graph.indices)), n) or _LANES
+    engine = msengine_for(graph)
+    for start in range(0, n, width):
+        batch = np.arange(start, min(start + width, n), dtype=np.int64)
+        # The engine reduces each sweep straight to eccentricities —
+        # the source's own 0 keeps the within-component max correct.
+        ecc[batch] = engine.ecc_batch(batch, counter=counter)
     return ecc

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.counters import TraversalCounter
     from repro.graph.engine import BFSRunStats
+    from repro.graph.msengine import MSBFSRunStats
 
 __all__ = [
     "Counter",
@@ -196,6 +197,34 @@ class MetricsRegistry:
         self.counter(f"{prefix}.levels_top_down").inc(
             len(stats.directions) - bottom_up
         )
+        frontier = self.histogram(f"{prefix}.frontier_size")
+        for size in stats.frontier_sizes:
+            frontier.observe(size)
+
+    def ingest_msbfs_stats(
+        self, stats: "MSBFSRunStats", prefix: str = "msbfs"
+    ) -> None:
+        """Fold one multi-source sweep's
+        :class:`~repro.graph.msengine.MSBFSRunStats` in.
+
+        ``{prefix}.runs`` counts sweeps, ``{prefix}.sources`` the
+        traversals they stood in for — their ratio is the batching
+        factor the lane engine achieved.
+        """
+        self.counter(f"{prefix}.runs").inc()
+        self.counter(f"{prefix}.sources").inc(stats.num_sources)
+        self.counter(f"{prefix}.levels").inc(stats.levels)
+        self.counter(f"{prefix}.edges_scanned").inc(stats.edges_scanned)
+        self.counter(f"{prefix}.edges_inspected").inc(stats.edges_inspected)
+        self.counter(f"{prefix}.words_touched").inc(stats.words_touched)
+        bottom_up = sum(1 for d in stats.directions if d == "bu")
+        self.counter(f"{prefix}.levels_bottom_up").inc(bottom_up)
+        self.counter(f"{prefix}.levels_top_down").inc(
+            len(stats.directions) - bottom_up
+        )
+        live = self.histogram(f"{prefix}.live_lanes")
+        for lanes in stats.live_lanes:
+            live.observe(lanes)
         frontier = self.histogram(f"{prefix}.frontier_size")
         for size in stats.frontier_sizes:
             frontier.observe(size)

@@ -61,7 +61,6 @@ from repro.errors import (
     InvalidVertexError,
     ParallelBackendError,
 )
-from repro.graph.csr import Graph
 from repro.obs.trace import Stopwatch, get_tracer
 from repro.parallel import shm as shm_mod
 
@@ -127,17 +126,67 @@ def _sigterm_to_exit(signum: int, frame: Optional[FrameType]) -> None:
 
 
 def _fill_distance_rows(
+    graph: Any,
     engine: Any,
     sources: np.ndarray,
     rows: np.ndarray,
     counter: TraversalCounter,
+    width: int,
 ) -> None:
-    """One full BFS per source, written into ``rows`` (worker "dist" task).
+    """Distance rows for a chunk, grouped exactly as the serial path.
+
+    ``width`` is the lane width the *parent* planned for the whole
+    batch; grouping by it (instead of re-planning on the chunk size)
+    keeps worker-side sweep boundaries — and therefore counter totals —
+    identical to the in-process :func:`repro.graph.msengine.
+    batch_distance_rows` over the same sources.  ``width == 0`` means
+    the serial plan chose the single-source loop.
 
     :mutates rows: row ``i`` is overwritten with ``dist(sources[i], .)``.
     """
-    for i in range(len(sources)):
-        rows[i, :] = engine.run(int(sources[i]), counter=counter)
+    if width == 0:
+        for i in range(len(sources)):
+            rows[i, :] = engine.run(int(sources[i]), counter=counter)
+        return
+    from repro.graph.msengine import msengine_for
+
+    ms = msengine_for(graph)
+    for start in range(0, len(sources), width):
+        group = sources[start: start + width]
+        rows[start: start + len(group)] = ms.run_batch(
+            group, counter=counter
+        )
+
+
+def _fill_eccentricities(
+    graph: Any,
+    engine: Any,
+    sources: np.ndarray,
+    out: np.ndarray,
+    counter: TraversalCounter,
+    width: int,
+) -> None:
+    """Eccentricities for a chunk, grouped exactly as the serial path.
+
+    Same parent-planned-``width`` contract as :func:`_fill_distance_rows`
+    (see there); the MS engine reduces each sweep straight to
+    eccentricities without materialising the distance matrix.
+
+    :mutates out: ``out[i]`` is overwritten with ``ecc(sources[i])``.
+    """
+    if width == 0:
+        for i in range(len(sources)):
+            engine.run(int(sources[i]), counter=counter)
+            out[i] = engine.last_ecc
+        return
+    from repro.graph.msengine import msengine_for
+
+    ms = msengine_for(graph)
+    for start in range(0, len(sources), width):
+        group = sources[start: start + width]
+        out[start: start + len(group)] = ms.ecc_batch(
+            group, counter=counter
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -159,13 +208,23 @@ def _worker_main(
     # A forked worker inherits the parent's active tracer (and possibly
     # its memory sink); traversal spans inside workers are aggregated
     # into the parent's parallel.batch span instead.
-    from repro.graph.engine import BFSEngine
     from repro.graph.msbfs import lane_batch_distances
     from repro.obs.trace import Tracer, set_tracer
+    from repro.sentinels import UNREACHED
 
     set_tracer(Tracer())
     graph, graph_segment = shm_mod.attach(spec)
-    engine = BFSEngine(graph)
+    directed = hasattr(graph, "forward_view")
+    if directed:
+        # Directed tasks run the dual-CSR BFS kernels; the undirected
+        # engine would choke on the DirectedGraph's missing attributes.
+        from repro.directed.traversal import backward_bfs, forward_bfs
+
+        engine: Any = None
+    else:
+        from repro.graph.engine import BFSEngine
+
+        engine = BFSEngine(graph)
     out_segment: Optional[Any] = None
     out_name = ""
     try:
@@ -174,7 +233,7 @@ def _worker_main(
             task = task_queue.get()
             if task is None:
                 break
-            kind, task_id, sources, out_ref, start = task
+            kind, task_id, sources, out_ref, start, width = task
             try:
                 watch = Stopwatch()
                 counter = TraversalCounter()
@@ -188,17 +247,22 @@ def _worker_main(
                     out_name = name
                 out = shm_mod.attach_array(out_segment, array_spec)
                 if kind == "ecc":
-                    engine.ecc_batch(
-                        sources,
-                        out=out[start: start + len(sources)],
-                        counter=counter,
-                    )
-                elif kind == "dist":
-                    _fill_distance_rows(
+                    _fill_eccentricities(
+                        graph,
                         engine,
                         sources,
                         out[start: start + len(sources)],
                         counter,
+                        width,
+                    )
+                elif kind == "dist":
+                    _fill_distance_rows(
+                        graph,
+                        engine,
+                        sources,
+                        out[start: start + len(sources)],
+                        counter,
+                        width,
                     )
                 elif kind == "msbfs_dist":
                     out[start: start + len(sources)] = lane_batch_distances(
@@ -213,6 +277,35 @@ def _worker_main(
                         axis=1,
                         out=out[start: start + len(sources)],
                     )
+                elif kind == "dfwd":
+                    # reprolint: disable=R4 (one full vectorised BFS per step)
+                    for i in range(len(sources)):
+                        out[start + i, :] = forward_bfs(
+                            graph, int(sources[i]), counter=counter
+                        )
+                elif kind == "dbwd":
+                    # reprolint: disable=R4 (one full vectorised BFS per step)
+                    for i in range(len(sources)):
+                        out[start + i, :] = backward_bfs(
+                            graph, int(sources[i]), counter=counter
+                        )
+                elif kind == "decc":
+                    # Forward eccentricities; -1 flags an unreached
+                    # vertex so the parent can raise the directed
+                    # DisconnectedGraphError without shipping rows back.
+                    # reprolint: disable=R4 (one full vectorised BFS per step)
+                    for i in range(len(sources)):
+                        dist = forward_bfs(
+                            graph, int(sources[i]), counter=counter
+                        )
+                        if len(dist) > 1 and bool(
+                            np.any(dist == UNREACHED)
+                        ):
+                            out[start + i] = -1
+                        else:
+                            out[start + i] = (
+                                int(dist.max()) if len(dist) else 0
+                            )
                 else:
                     raise ParallelBackendError(f"unknown task kind {kind!r}")
                 result_queue.put(
@@ -321,7 +414,7 @@ class TraversalPool:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Any,
         workers: Optional[int] = None,
         chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
     ) -> None:
@@ -335,6 +428,13 @@ class TraversalPool:
         self.workers = resolve_workers(workers)
         self.chunks_per_worker = int(chunks_per_worker)
         self.num_vertices = graph.num_vertices
+        # Arc count feeds the parent-side lane-width plan (the pool
+        # must not retain the graph itself — see the class docstring).
+        if hasattr(graph, "num_arcs"):
+            self.num_arcs = int(graph.num_arcs)
+        else:
+            self.num_arcs = int(len(graph.indices))
+        self.directed = hasattr(graph, "forward_view")
         self._task_counter = 0
         self._resources = _PoolResources()
         self._finalizer = weakref.finalize(
@@ -438,14 +538,35 @@ class TraversalPool:
             raise InvalidVertexError(int(bad), self.num_vertices)
         return src
 
-    def _chunk_bounds(self, total: int, lane_groups: bool) -> List[int]:
-        """Chunk start offsets for ``total`` sources (ascending, from 0)."""
+    def _plan_width(self, src: np.ndarray) -> int:
+        """The lane width the serial path would plan for this batch.
+
+        Planned parent-side over the *whole* batch (workers would see
+        only their chunk and could plan differently), then shipped in
+        every task so the sweep partition is backend-invariant.
+        """
+        from repro.graph.msengine import plan_lane_width
+
+        return plan_lane_width(self.num_vertices, self.num_arcs, len(src))
+
+    def _chunk_bounds(
+        self, total: int, lane_groups: bool, align: int = 1
+    ) -> List[int]:
+        """Chunk start offsets for ``total`` sources (ascending, from 0).
+
+        ``align > 1`` rounds the balanced chunk size up to a multiple of
+        the planned lane width, so chunk boundaries never split a sweep
+        group — workers grouping by the same width then reproduce the
+        serial sweep partition (and its counter totals) exactly.
+        """
         if lane_groups:
             size = _LANES
         else:
             size = max(
                 1, -(-total // (self.workers * self.chunks_per_worker))
             )
+            if align > 1:
+                size = -(-size // align) * align
         return list(range(0, total, size))
 
     def _ensure_out(self, nbytes: int) -> Any:
@@ -464,6 +585,37 @@ class TraversalPool:
         self._resources.out_segment = fresh
         return fresh
 
+    def _gather(
+        self, num_tasks: int
+    ) -> Tuple[TraversalCounter, Dict[str, float]]:
+        """Collect ``num_tasks`` worker replies; merge counters/timings.
+
+        Raises :class:`ParallelBackendError` carrying every worker-side
+        traceback if any task failed (after draining all replies, so the
+        queue is clean for the next dispatch).
+        """
+        failures: List[str] = []
+        worker_seconds: Dict[str, float] = {}
+        merged = TraversalCounter()
+        for _ in range(num_tasks):
+            message = self._next_message(timeout=3600.0)
+            if message[0] == "error":
+                failures.append(f"worker {message[2]}: {message[3]}")
+            elif message[0] == "done":
+                _tag, _task, worker_id, totals, seconds = message
+                merged.merge(TraversalCounter(**totals))
+                key = f"w{worker_id}"
+                worker_seconds[key] = (
+                    worker_seconds.get(key, 0.0) + seconds
+                )
+            else:  # pragma: no cover - defensive
+                failures.append(f"unexpected message {message[0]!r}")
+        if failures:
+            raise ParallelBackendError(
+                "parallel dispatch failed:\n" + "\n".join(failures)
+            )
+        return merged, worker_seconds
+
     def _dispatch(
         self,
         kind: str,
@@ -472,11 +624,15 @@ class TraversalPool:
         dtype: str,
         counter: Optional[TraversalCounter],
         lane_groups: bool = False,
+        width: int = 0,
     ) -> np.ndarray:
         """Fan one batch out; return a caller-owned result array.
 
         ``row_shape`` is the per-source result shape: ``()`` for one
-        eccentricity per source, ``(n,)`` for a distance row.
+        eccentricity per source, ``(n,)`` for a distance row.  ``width``
+        is the parent-planned lane width for "ecc"/"dist" tasks (0 =
+        single-source loop); it both aligns the chunking and rides along
+        in each task so workers group sweeps exactly as the serial path.
         """
         if self.closed:
             raise ParallelBackendError("pool is closed")
@@ -489,7 +645,9 @@ class TraversalPool:
         )
         segment = self._ensure_out(result.nbytes)
         out_ref = (segment.name, out_spec)
-        starts = self._chunk_bounds(len(src), lane_groups)
+        starts = self._chunk_bounds(
+            len(src), lane_groups, align=max(1, width)
+        )
         chunk = starts[1] if len(starts) > 1 else len(src)
         task_queue = self._resources.task_queue
         assert task_queue is not None
@@ -503,28 +661,16 @@ class TraversalPool:
         ) as span:
             for task_id, start in enumerate(starts):
                 task_queue.put(
-                    (kind, task_id, src[start: start + chunk], out_ref, start)
-                )
-            failures: List[str] = []
-            worker_seconds: Dict[str, float] = {}
-            merged = TraversalCounter()
-            for _ in starts:
-                message = self._next_message(timeout=3600.0)
-                if message[0] == "error":
-                    failures.append(f"worker {message[2]}: {message[3]}")
-                elif message[0] == "done":
-                    _tag, _task, worker_id, totals, seconds = message
-                    merged.merge(TraversalCounter(**totals))
-                    key = f"w{worker_id}"
-                    worker_seconds[key] = (
-                        worker_seconds.get(key, 0.0) + seconds
+                    (
+                        kind,
+                        task_id,
+                        src[start: start + chunk],
+                        out_ref,
+                        start,
+                        width,
                     )
-                else:  # pragma: no cover - defensive
-                    failures.append(f"unexpected message {message[0]!r}")
-            if failures:
-                raise ParallelBackendError(
-                    "parallel dispatch failed:\n" + "\n".join(failures)
                 )
+            merged, worker_seconds = self._gather(len(starts))
             if counter is not None:
                 counter.merge(merged)
             view = shm_mod.attach_array(segment, out_spec)
@@ -556,7 +702,9 @@ class TraversalPool:
             if sources is None
             else sources
         )
-        return self._dispatch("ecc", src, (), "int32", counter)
+        return self._dispatch(
+            "ecc", src, (), "int32", counter, width=self._plan_width(src)
+        )
 
     def distance_rows(
         self,
@@ -574,7 +722,12 @@ class TraversalPool:
         """
         src = self._check_sources(sources)
         rows = self._dispatch(
-            "dist", src, (self.num_vertices,), "int32", counter
+            "dist",
+            src,
+            (self.num_vertices,),
+            "int32",
+            counter,
+            width=self._plan_width(src),
         )
         if out is not None:
             out[...] = rows
@@ -618,17 +771,126 @@ class TraversalPool:
             "msbfs_ecc", src, (), "int32", counter, lane_groups=True
         )
 
+    # -- directed entry points -----------------------------------------
+    def _require_directed(self) -> None:
+        if not self.directed:
+            raise ParallelBackendError(
+                "this pool serves an undirected graph; directed "
+                "dispatch needs a DirectedGraph pool"
+            )
+
+    def directed_eccentricities(
+        self,
+        sources: Optional[Sequence[int]] = None,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Forward eccentricities, one forward BFS per source.
+
+        An entry of ``-1`` marks a source that does not reach every
+        vertex — the caller decides whether that is a
+        ``DisconnectedGraphError`` (exact ED) or fine (per-SCC use).
+
+        :dtype ecc: int32
+        """
+        self._require_directed()
+        src = self._check_sources(
+            np.arange(self.num_vertices, dtype=np.int64)
+            if sources is None
+            else sources
+        )
+        return self._dispatch("decc", src, (), "int32", counter)
+
+    def directed_distance_rows(
+        self,
+        sources: Sequence[int],
+        direction: str = "forward",
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """Distance rows along (``"forward"``) or against
+        (``"backward"``) arc directions.
+
+        Row ``i`` is ``dist(sources[i], .)`` forward, ``dist(.,
+        sources[i])`` backward — exactly :func:`repro.directed.
+        traversal.forward_bfs` / ``backward_bfs`` per source.
+
+        :dtype rows: int32
+        """
+        self._require_directed()
+        if direction not in ("forward", "backward"):
+            raise InvalidParameterError(
+                f"direction must be 'forward' or 'backward', "
+                f"got {direction!r}"
+            )
+        src = self._check_sources(sources)
+        kind = "dfwd" if direction == "forward" else "dbwd"
+        return self._dispatch(
+            kind, src, (self.num_vertices,), "int32", counter
+        )
+
+    def directed_probe_pair(
+        self,
+        source: int,
+        counter: Optional[TraversalCounter] = None,
+    ) -> np.ndarray:
+        """One probe pair — forward and backward BFS from ``source`` —
+        as two tasks that run concurrently on two workers.
+
+        Returns a ``(2, n)`` matrix: row 0 is ``dist(source, .)``
+        (forward), row 1 ``dist(., source)`` (backward).  This is the
+        :class:`repro.directed.traversal.DirectedBFSOracle` source-probe
+        unit; pairing the two traversals in one dispatch halves the
+        probe's wall-clock instead of paying two IPC round-trips.
+
+        :dtype rows: int32
+        """
+        self._require_directed()
+        if self.closed:
+            raise ParallelBackendError("pool is closed")
+        src = self._check_sources([source])
+        n = self.num_vertices
+        shape = (2, n)
+        result = np.empty(shape, dtype=np.int32)
+        out_spec = shm_mod.ArraySpec(
+            key="out", offset=0, shape=shape, dtype="int32"
+        )
+        segment = self._ensure_out(result.nbytes)
+        out_ref = (segment.name, out_spec)
+        task_queue = self._resources.task_queue
+        assert task_queue is not None
+        with get_tracer().span(
+            "parallel.batch",
+            kind="dprobe",
+            backend="process",
+            workers=self.workers,
+            num_sources=2,
+            chunks=[1, 1],
+        ) as span:
+            task_queue.put(("dfwd", 0, src, out_ref, 0, 0))
+            task_queue.put(("dbwd", 1, src, out_ref, 1, 0))
+            merged, worker_seconds = self._gather(2)
+            if counter is not None:
+                counter.merge(merged)
+            result[...] = shm_mod.attach_array(segment, out_spec)
+            span.set(
+                tasks=2,
+                traversals=merged.bfs_runs,
+                edges_scanned=merged.edges_scanned,
+                edges_inspected=merged.edges_inspected,
+                worker_seconds=worker_seconds,
+            )
+        return result
+
 
 # ---------------------------------------------------------------------------
 # Per-graph registry (mirrors engine_for / _workspace_for)
 # ---------------------------------------------------------------------------
-_POOLS: "weakref.WeakKeyDictionary[Graph, TraversalPool]" = (
+_POOLS: "weakref.WeakKeyDictionary[Any, TraversalPool]" = (
     weakref.WeakKeyDictionary()
 )
 _POOLS_LOCK = threading.Lock()
 
 
-def pool_for(graph: Graph, workers: Optional[int] = None) -> TraversalPool:
+def pool_for(graph: Any, workers: Optional[int] = None) -> TraversalPool:
     """The cached :class:`TraversalPool` of ``graph`` (created on demand).
 
     A cached pool is reused when ``workers`` is ``None`` or matches its

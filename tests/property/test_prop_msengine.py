@@ -1,0 +1,119 @@
+"""Property: lane width and direction never change MS-BFS answers.
+
+The tentpole equivalence — ``MSBFSEngine`` ≡ looped single-source
+``BFSEngine`` ≡ the seed-style dense lane reference — driven across
+hypothesis-drawn graphs, batch sizes (crossing every lane-word
+boundary), truncation limits, and forced directions.  The reference
+implementation here is deliberately the *dumbest* correct one: a dense
+per-source loop over the plain traversal kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import random_connected_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.engine import BFSEngine
+from repro.graph.msengine import MSBFSEngine, batch_distance_rows
+from repro.sentinels import UNREACHED
+
+
+@st.composite
+def graph_and_sources(draw, max_n=48, max_batch=96):
+    """A small random connected graph plus a source batch (duplicates
+    and reorderings allowed) that can cross the 64-lane word boundary."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    extra = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=max_batch,
+        )
+    )
+    return random_connected_graph(n, extra_edges=extra, seed=seed), sources
+
+
+def looped_reference(graph, sources, limit=None):
+    engine = BFSEngine(graph)
+    return np.stack(
+        [engine.run(int(s), limit=limit).copy() for s in sources]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(gs=graph_and_sources())
+def test_run_batch_equals_looped_engine(gs):
+    graph, sources = gs
+    # Distinct sources: one lane per source, any width the batch needs.
+    src = np.unique(np.asarray(sources, dtype=np.int64))
+    rows = MSBFSEngine(graph).run_batch(src)
+    assert np.array_equal(rows, looped_reference(graph, src))
+
+
+@settings(max_examples=30, deadline=None)
+@given(gs=graph_and_sources(), mode=st.sampled_from(["top-down", "bottom-up"]))
+def test_forced_directions_change_nothing(gs, mode):
+    graph, sources = gs
+    src = np.unique(np.asarray(sources, dtype=np.int64))
+    forced = MSBFSEngine(graph).run_batch(src, mode=mode)
+    hybrid = MSBFSEngine(graph).run_batch(src)
+    assert np.array_equal(forced, hybrid)
+
+
+@settings(max_examples=30, deadline=None)
+@given(gs=graph_and_sources(), limit=st.integers(min_value=0, max_value=6))
+def test_truncation_limits_match_serial_engine(gs, limit):
+    graph, sources = gs
+    src = np.unique(np.asarray(sources, dtype=np.int64))
+    rows = MSBFSEngine(graph).run_batch(src, limit=limit)
+    assert np.array_equal(rows, looped_reference(graph, src, limit=limit))
+
+
+@settings(max_examples=40, deadline=None)
+@given(gs=graph_and_sources())
+def test_batch_distance_rows_handles_duplicates(gs):
+    graph, sources = gs
+    # Raw batch, duplicates and all — the dedupe seam must replay
+    # repeated sources from the shared sweep, preserving order.
+    src = np.asarray(sources, dtype=np.int64)
+    rows = batch_distance_rows(graph, src)
+    assert np.array_equal(rows, looped_reference(graph, src))
+
+
+@settings(max_examples=30, deadline=None)
+@given(gs=graph_and_sources())
+def test_ecc_batch_equals_rows_reduction(gs):
+    graph, sources = gs
+    src = np.unique(np.asarray(sources, dtype=np.int64))
+    ecc = MSBFSEngine(graph).ecc_batch(src)
+    rows = looped_reference(graph, src)
+    expected = np.where(rows != UNREACHED, rows, 0).max(axis=1)
+    assert np.array_equal(ecc, expected.astype(np.int32))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    num_edges=st.integers(min_value=0, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_disconnected_graphs_unreached_lanes(n, num_edges, seed):
+    # Possibly-disconnected graphs: unreached cells must stay UNREACHED
+    # in every lane, exactly as the serial engine reports them.
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices=n)
+    for _ in range(num_edges):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            builder.add_edge(u, v)
+    graph = builder.build()
+    src = np.arange(n, dtype=np.int64)
+    rows = MSBFSEngine(graph).run_batch(src)
+    assert np.array_equal(rows, looped_reference(graph, src))

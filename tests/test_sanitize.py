@@ -17,7 +17,8 @@ from repro import sanitize
 from repro.errors import ReproError, SanitizerError
 from repro.graph.csr import Graph
 from repro.graph.engine import BFSEngine
-from repro.graph.msbfs import _LaneWorkspace, _batch_distances
+from repro.graph.msbfs import _LaneWorkspace
+from repro.graph.msengine import MSBFSEngine
 from repro.obs.trace import MemorySink, tracing
 
 
@@ -324,29 +325,34 @@ class TestEngineWiring:
 
 
 class TestMsbfsWiring:
+    def test_lane_workspace_alias_constructs_guarded(self, sanitizer):
+        # The historical single-word workspace name still builds the
+        # pooled bitmaps (now the MS engine's) and arms their guard.
+        work = _LaneWorkspace(chordal_square().num_vertices)
+        assert work.guard is not None
+        assert work.seen.shape == (4, 1)
+
     def test_armed_batch_guard_reentrancy(self, sanitizer):
         g = chordal_square()
-        work = _LaneWorkspace(g.num_vertices)
+        engine = MSBFSEngine(g)
+        work = engine._workspace(1)
         assert work.guard is not None
         work.guard.begin_run()
         try:
             with pytest.raises(SanitizerError, match="not reentrant"):
-                _batch_distances(
-                    g, np.asarray([0], dtype=np.int64), None, work
-                )
+                engine.run_batch(np.asarray([0], dtype=np.int64))
         finally:
             work.guard.end_run()
 
     def test_armed_batch_matches_unarmed(self, sanitizer):
         g = chordal_square()
-        work = _LaneWorkspace(g.num_vertices)
         sources = np.asarray([0, 1, 2, 3], dtype=np.int64)
-        armed = _batch_distances(g, sources, None, work)
+        armed = MSBFSEngine(g).run_batch(sources)
         sanitize.disable()
         try:
-            plain_work = _LaneWorkspace(g.num_vertices)
-            assert plain_work.guard is None
-            plain = _batch_distances(g, sources, None, plain_work)
+            plain_engine = MSBFSEngine(g)
+            plain = plain_engine.run_batch(sources)
+            assert plain_engine._workspace(1).guard is None
         finally:
             sanitize.enable()
         np.testing.assert_array_equal(armed, plain)

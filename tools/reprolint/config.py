@@ -89,6 +89,7 @@ HOT_PATH_PREFIXES = (
     "src/repro/graph/engine.py",
     "src/repro/graph/traversal.py",
     "src/repro/graph/msbfs.py",
+    "src/repro/graph/msengine.py",
     "src/repro/weighted/eccentricity.py",
     "src/repro/directed/eccentricity.py",
     "src/repro/directed/traversal.py",
@@ -125,6 +126,9 @@ POOLED_BUFFER_ATTRS = {
     "repro.graph.msbfs._LaneWorkspace": frozenset(
         {"seen", "frontier", "next_mask"}
     ),
+    "repro.graph.msengine._MSWorkspace": frozenset(
+        {"seen", "frontier", "next_mask"}
+    ),
 }
 
 #: Functions *documented* to return pooled buffers — the producer API.
@@ -157,7 +161,9 @@ WORKSPACE_RULE_EXEMPT = frozenset({"src/repro/sanitize.py"})
 #: Annotation base names that put a parameter in scope for the R11
 #: ``:mutates name:`` docstring contract: ndarrays plus the registered
 #: pooled-workspace owner types.
-MUTATION_CONTRACT_TYPES = frozenset({"ndarray", "BFSEngine", "_LaneWorkspace"})
+MUTATION_CONTRACT_TYPES = frozenset(
+    {"ndarray", "BFSEngine", "_LaneWorkspace", "MSBFSEngine", "_MSWorkspace"}
+)
 
 #: Registered module-level mutable state (R10): every mutable module
 #: global and weak-keyed cache in shipped code must appear here, mapped
@@ -167,8 +173,8 @@ SHARED_STATE = {
     "src/repro/graph/engine.py": {
         "_ENGINES": ("engine_for",),
     },
-    "src/repro/graph/msbfs.py": {
-        "_WORKSPACES": ("_workspace_for",),
+    "src/repro/graph/msengine.py": {
+        "_ENGINES": ("msengine_for",),
     },
     "src/repro/parallel/pool.py": {
         "_POOLS": ("pool_for", "shutdown_pools"),
