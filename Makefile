@@ -1,6 +1,6 @@
 # Convenience targets for the IFECC reproduction.
 
-.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel bench-msbfs bench-store examples results clean lint typecheck check
+.PHONY: install test test-sanitized tier-guard bench bench-smoke bench-parallel bench-msbfs bench-store bench-guard obs-overhead examples results clean lint typecheck check
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -41,9 +41,9 @@ typecheck:
 	fi
 
 # Everything a PR must pass: tier-1 tests (weighted/directed tier
-# membership included), the sanitized rerun, reprolint, and the type
-# gate.
-check: test test-sanitized tier-guard lint typecheck
+# membership included), the sanitized rerun, reprolint, the type gate,
+# and the benchmark regression gate over the committed scorecards.
+check: test test-sanitized tier-guard lint typecheck bench-guard
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -76,6 +76,19 @@ bench-msbfs:
 # CI runs the --smoke variant and uploads the JSON.
 bench-store:
 	python benchmarks/bench_graph_store.py
+
+# Benchmark regression gate (tools/benchguard == `repro bench check`):
+# parses every committed BENCH_*.json, re-verifies the recorded
+# speedup/bit-identity claims, and exits non-zero on any failure.
+# `repro bench compare fresh.json baseline.json` adds the A/B leg.
+bench-guard:
+	python tools/benchguard check
+
+# Tracing-overhead gate: A/Bs a null-sink IFECC run against a fully
+# captured one (interleaved, min-of-CPU-time) and fails if capture
+# exceeds the documented 3% budget.  Writes BENCH_obs_overhead.json.
+obs-overhead:
+	PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,50 @@
+"""Checkout shim for :mod:`benchguard`.
+
+The implementation lives in ``tools/benchguard/`` (itself a thin
+re-export of :mod:`repro.obs.benchguard`, so ``repro bench check`` and
+the tool share one gate); this package exists so ``python -m
+benchguard check`` works from a repository checkout without installing
+anything or exporting ``PYTHONPATH``.  It extends the package search
+path to the real location, mirroring the ``reprolint`` shim.
+
+Keep this file free of logic beyond the path splice and the re-exports
+mirrored from ``tools/benchguard/__init__.py``.
+"""
+
+import os
+
+_TOOLS_PACKAGE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "benchguard",
+)
+__path__ = [_TOOLS_PACKAGE] + list(__path__)  # noqa: F821 - package var
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if os.path.isdir(_SRC):
+    import sys
+
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.obs.benchguard import (  # noqa: E402 - after the path splice
+    Finding,
+    Headline,
+    check_paths,
+    compare_docs,
+    default_artifacts,
+    format_findings,
+    main,
+)
+
+__all__ = [
+    "Finding",
+    "Headline",
+    "check_paths",
+    "compare_docs",
+    "default_artifacts",
+    "format_findings",
+    "main",
+]

@@ -28,7 +28,14 @@ Subcommands
 ``trace``
     Inspect saved run records: ``repro-ecc trace summarize PATH`` prints
     the convergence table of a record written via ``--trace PATH`` on
-    ``ecc``/``approx``/``diameter``.
+    ``ecc``/``approx``/``diameter``.  Those three subcommands also take
+    ``--progress`` for a live convergence view on stderr.
+``bench``
+    Benchmark regression gate: ``bench check`` re-verifies every
+    committed ``BENCH_*.json`` artifact's recorded claims, ``bench
+    compare FRESH BASELINE`` gates a fresh ``--smoke`` artifact against
+    a recorded baseline with a configurable tolerance.  Also available
+    uninstalled as ``python tools/benchguard``.
 ``store``
     Manage the binary graph store: ``store build NAME`` materializes a
     dataset stand-in as a mmap-openable ``.rcsr`` container,
@@ -110,31 +117,47 @@ def _run_traced(
     config: Dict[str, Any],
     run: "Callable[[], Any]",
 ) -> Any:
-    """Run ``run()`` — under a capturing tracer when ``--trace`` was given.
+    """Run ``run()`` — traced and/or monitored when flags ask for it.
 
     With ``--trace PATH`` the solver executes inside a
     :func:`repro.obs.trace.tracing` block feeding a memory sink, and the
     finished run is packaged as a versioned
-    :class:`repro.obs.record.RunRecord` written to ``PATH``.
+    :class:`repro.obs.record.RunRecord` written to ``PATH``.  With
+    ``--progress`` a live :class:`repro.obs.progress.ProgressMonitor`
+    renders the convergence view on stderr; given both, the monitor
+    tees every event into the capturing sink.
     """
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    progress = bool(getattr(args, "progress", False))
+    if not trace_path and not progress:
         return run()
-    from repro.obs.record import RunRecord
-    from repro.obs.trace import MemorySink, tracing
+    from repro.obs.trace import MemorySink, Sink, tracing
 
-    sink = MemorySink()
+    capture = MemorySink() if trace_path else None
+    monitor = None
+    if progress:
+        from repro.obs.progress import ProgressMonitor
+
+        monitor = ProgressMonitor(stream=sys.stderr, forward=capture)
+    sink: Sink = monitor if monitor is not None else capture  # type: ignore[assignment]
     with tracing(sink) as tracer:
-        result = run()
-    record = RunRecord.from_run(
-        result,
-        graph,
-        sink.events,
-        config=config,
-        metrics=tracer.metrics.snapshot(),
-    )
-    record.write_jsonl(trace_path)
-    print(f"run record written to {trace_path}")
+        try:
+            result = run()
+        finally:
+            if monitor is not None:
+                monitor.close()
+    if capture is not None and trace_path:
+        from repro.obs.record import RunRecord
+
+        record = RunRecord.from_run(
+            result,
+            graph,
+            capture.events,
+            config=config,
+            metrics=tracer.metrics.snapshot(),
+        )
+        record.write_jsonl(trace_path)
+        print(f"run record written to {trace_path}")
     return result
 
 
@@ -302,6 +325,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.obs.benchguard import run_check
+
+    return run_check(args.artifacts, root=args.root, fmt=args.format)
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.benchguard import run_compare
+
+    return run_compare(
+        args.fresh,
+        args.baseline,
+        tolerance=args.tolerance,
+        fmt=args.format,
+    )
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     from repro.obs.record import RunRecord
 
@@ -416,6 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a versioned run record (JSON Lines) of the "
             "computation; inspect it with `trace summarize PATH`",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="render a live convergence view (resolved count, "
+            "bound-gap mass, traversal rate, ETA) on stderr while "
+            "the solver runs; composes with --trace",
         )
 
     def add_backend_args(p: argparse.ArgumentParser) -> None:
@@ -545,6 +592,45 @@ def build_parser() -> argparse.ArgumentParser:
         "target", help="store://NAME, dataset name, or .rcsr path"
     )
     p_sverify.set_defaults(func=_cmd_store_verify)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark regression gate (BENCH_*.json artifacts)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bcheck = bench_sub.add_parser(
+        "check",
+        help="parse every committed BENCH_*.json and re-verify its "
+        "recorded claims",
+    )
+    p_bcheck.add_argument(
+        "artifacts", nargs="*", metavar="PATH",
+        help="artifact paths (default: BENCH_*.json under --root)",
+    )
+    p_bcheck.add_argument(
+        "--root", default=".",
+        help="directory to glob artifacts from (default: .)",
+    )
+    p_bcheck.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="report style; `github` emits workflow annotations",
+    )
+    p_bcheck.set_defaults(func=_cmd_bench_check)
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="gate a fresh --smoke artifact against a recorded baseline",
+    )
+    p_bcmp.add_argument("fresh", help="freshly produced artifact path")
+    p_bcmp.add_argument("baseline", help="recorded baseline artifact path")
+    p_bcmp.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional shortfall before a headline metric "
+        "counts as a regression (default 0.5)",
+    )
+    p_bcmp.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="report style; `github` emits workflow annotations",
+    )
+    p_bcmp.set_defaults(func=_cmd_bench_compare)
 
     p_trace = sub.add_parser("trace", help="inspect saved run records")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

@@ -14,9 +14,19 @@ The observability layer of the solver stack, in three pieces:
     The versioned run-record document (``--trace PATH`` /
     ``repro trace summarize``): graph fingerprint, config, the full
     per-traversal event stream, aggregated counters, final result.
+:mod:`repro.obs.progress`
+    Live convergence monitor (``--progress`` / a programmatic
+    callback): an in-process sink rendering resolved count, bound-gap
+    mass, traversal rate, and an ETA from the event stream.
+:mod:`repro.obs.benchguard`
+    The benchmark regression gate (``repro bench check`` /
+    ``python tools/benchguard``): parses every committed
+    ``BENCH_*.json`` artifact, checks its recorded claims, and
+    compares fresh smoke runs against baselines with a tolerance.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressMonitor, ProgressState
 from repro.obs.record import RECORD_VERSION, RunRecord, graph_fingerprint
 from repro.obs.trace import (
     JSONLSink,
@@ -38,6 +48,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProgressMonitor",
+    "ProgressState",
     "RECORD_VERSION",
     "RunRecord",
     "graph_fingerprint",

@@ -33,6 +33,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_SIZE_BUCKETS",
+    "LANE_WIDTH_BUCKETS",
+    "DIRECTION_SWITCH_BUCKETS",
 ]
 
 #: Power-of-two upper bounds for size-ish histograms (frontier sizes,
@@ -40,6 +42,23 @@ __all__ = [
 #: different machines) land in comparable buckets.
 DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = tuple(
     float(2**i) for i in range(0, 31, 2)
+)
+
+#: The MS-BFS engine's only legal lane widths (1/2/4 uint64 words).
+#: One bucket per width keeps the ``msbfs.lane_width`` histogram an
+#: exact tally of which plan the width heuristic picked per sweep.
+LANE_WIDTH_BUCKETS: Tuple[float, ...] = (64.0, 128.0, 256.0)
+
+#: Upper edges for per-sweep top-down/bottom-up direction flips.  A
+#: sweep that never leaves top-down lands in the 0 bucket; the paper's
+#: direction-optimizing traversals typically flip twice (td→bu→td).
+DIRECTION_SWITCH_BUCKETS: Tuple[float, ...] = (
+    0.0,
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
 )
 
 
@@ -141,6 +160,14 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # ingest_run_stats runs once per traversal; resolving its six
+        # counters plus the frontier histogram through f-strings every
+        # call is measurable there, so the handle tuple is cached per
+        # prefix (instruments are never removed, so handles stay valid).
+        self._run_stats_handles: Dict[
+            str, Tuple[Counter, Counter, Counter, Counter, Counter, Counter,
+                       Histogram]
+        ] = {}
 
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
@@ -188,16 +215,25 @@ class MetricsRegistry:
         self, stats: "BFSRunStats", prefix: str = "bfs"
     ) -> None:
         """Fold one BFS run's :class:`~repro.graph.engine.BFSRunStats` in."""
-        self.counter(f"{prefix}.runs").inc()
-        self.counter(f"{prefix}.levels").inc(stats.levels)
-        self.counter(f"{prefix}.edges_scanned").inc(stats.edges_scanned)
-        self.counter(f"{prefix}.edges_inspected").inc(stats.edges_inspected)
-        bottom_up = sum(1 for d in stats.directions if d == "bu")
-        self.counter(f"{prefix}.levels_bottom_up").inc(bottom_up)
-        self.counter(f"{prefix}.levels_top_down").inc(
-            len(stats.directions) - bottom_up
-        )
-        frontier = self.histogram(f"{prefix}.frontier_size")
+        handles = self._run_stats_handles.get(prefix)
+        if handles is None:
+            handles = self._run_stats_handles[prefix] = (
+                self.counter(f"{prefix}.runs"),
+                self.counter(f"{prefix}.levels"),
+                self.counter(f"{prefix}.edges_scanned"),
+                self.counter(f"{prefix}.edges_inspected"),
+                self.counter(f"{prefix}.levels_bottom_up"),
+                self.counter(f"{prefix}.levels_top_down"),
+                self.histogram(f"{prefix}.frontier_size"),
+            )
+        runs, levels, scanned, inspected, bu, td, frontier = handles
+        runs.inc()
+        levels.inc(stats.levels)
+        scanned.inc(stats.edges_scanned)
+        inspected.inc(stats.edges_inspected)
+        bottom_up = stats.directions.count("bu")
+        bu.inc(bottom_up)
+        td.inc(len(stats.directions) - bottom_up)
         for size in stats.frontier_sizes:
             frontier.observe(size)
 
@@ -217,7 +253,7 @@ class MetricsRegistry:
         self.counter(f"{prefix}.edges_scanned").inc(stats.edges_scanned)
         self.counter(f"{prefix}.edges_inspected").inc(stats.edges_inspected)
         self.counter(f"{prefix}.words_touched").inc(stats.words_touched)
-        bottom_up = sum(1 for d in stats.directions if d == "bu")
+        bottom_up = stats.directions.count("bu")
         self.counter(f"{prefix}.levels_bottom_up").inc(bottom_up)
         self.counter(f"{prefix}.levels_top_down").inc(
             len(stats.directions) - bottom_up
@@ -228,6 +264,57 @@ class MetricsRegistry:
         frontier = self.histogram(f"{prefix}.frontier_size")
         for size in stats.frontier_sizes:
             frontier.observe(size)
+        self.histogram(f"{prefix}.lane_width", LANE_WIDTH_BUCKETS).observe(
+            stats.lane_words * 64
+        )
+        switches = sum(
+            1
+            for before, after in zip(stats.directions, stats.directions[1:])
+            if before != after
+        )
+        self.histogram(
+            f"{prefix}.direction_switches", DIRECTION_SWITCH_BUCKETS
+        ).observe(switches)
+
+    # ---------------------------------------------------------- merge
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process half of worker span propagation: pool workers
+        accumulate per-task metrics into a private registry, ship its
+        snapshot back with the task result, and the parent merges every
+        delta here.  Counters add; gauges replay ``min``/``max``/
+        ``value`` (last write wins, extremes survive); histograms add
+        bucket-for-bucket and refuse a bound mismatch — fixed layouts
+        are the comparability contract, so a mismatch means the two
+        sides disagree about the instrument and silently re-binning
+        would corrupt both.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(data["value"]))
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(float(data["min"]))
+                gauge.set(float(data["max"]))
+                gauge.set(float(data["value"]))
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in data["bounds"])
+                hist = self.histogram(name, bounds)
+                if hist.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r}: incoming bounds {bounds} "
+                        f"do not match existing {hist.bounds}"
+                    )
+                for i, count in enumerate(data["counts"]):
+                    hist.counts[i] += int(count)
+                hist.total += int(data["total"])
+                hist.sum += float(data["sum"])
+            else:
+                raise ValueError(
+                    f"unknown instrument type {kind!r} for {name!r}"
+                )
 
     # ------------------------------------------------------- snapshot
     def snapshot(self) -> Dict[str, Dict[str, Any]]:

@@ -49,6 +49,16 @@ RECORD_VERSION = 1
 #: convergence table).
 PROBE_SPAN = "solver.probe"
 
+#: The span the process pool emits per dispatch, and the event the
+#: MS-BFS lane engine emits per sweep — the two batch-work shapes the
+#: summary accounts for alongside single-source probes.
+BATCH_SPAN = "parallel.batch"
+MSBFS_EVENT = "msbfs.run"
+
+#: The per-task span workers buffer; re-emitted events carry a
+#: ``worker=`` attribute (see :mod:`repro.parallel.pool`).
+TASK_SPAN = "parallel.task"
+
 
 def graph_fingerprint(graph: Any) -> Dict[str, Any]:
     """Identity of a graph instance: sizes plus a CSR content digest.
@@ -168,25 +178,31 @@ class RunRecord:
     def read_jsonl(cls, path: str) -> "RunRecord":
         """Parse a record written by :meth:`write_jsonl`.
 
-        Tolerates a missing footer (crashed run) — result/counters stay
-        empty and the events read so far are preserved.
+        Tolerates a crashed run: a missing footer leaves result/counters
+        empty with the events read so far preserved, and a torn *final*
+        line (the process died mid-write) is dropped rather than raised
+        on — corruption anywhere earlier still raises.
         """
         header: Optional[Dict[str, Any]] = None
         footer: Dict[str, Any] = {}
         events: List[Event] = []
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+            lines = [line.strip() for line in handle]
+        lines = [line for line in lines if line]
+        for index, line in enumerate(lines):
+            try:
                 doc = json.loads(line)
-                kind = doc.get("kind")
-                if kind == "header":
-                    header = doc
-                elif kind == "footer":
-                    footer = doc
-                else:
-                    events.append(doc)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break
+                raise
+            kind = doc.get("kind")
+            if kind == "header":
+                header = doc
+            elif kind == "footer":
+                footer = doc
+            else:
+                events.append(doc)
         if header is None:
             raise InvalidParameterError(
                 f"{path}: not a run record (no header line)"
@@ -217,6 +233,14 @@ class RunRecord:
     def probe_events(self) -> List[Event]:
         """The per-traversal spans, in completion order."""
         return [e for e in self.events if e.get("name") == PROBE_SPAN]
+
+    def batch_events(self) -> List[Event]:
+        """The ``parallel.batch`` dispatch spans, in completion order."""
+        return [e for e in self.events if e.get("name") == BATCH_SPAN]
+
+    def msbfs_events(self) -> List[Event]:
+        """The ``msbfs.run`` lane-sweep events, in stream order."""
+        return [e for e in self.events if e.get("name") == MSBFS_EVENT]
 
     def deterministic_events(self) -> List[Event]:
         """Events with wall-clock keys stripped (see obs.trace)."""
@@ -262,6 +286,50 @@ class RunRecord:
                         remaining=event.get("remaining", "?"),
                     )
                 )
+        batches = self.batch_events()
+        sweeps = self.msbfs_events()
+        if batches or sweeps:
+            # Batch algorithms (naive ED, MS-BFS, the process pool) do
+            # their traversal work outside solver.probe spans; account
+            # for it here so a summarized record never undercounts.
+            lines.append("batch work:")
+            if batches:
+                tasks = sum(int(e.get("tasks", 0)) for e in batches)
+                traversals = sum(
+                    int(e.get("traversals", 0)) for e in batches
+                )
+                seconds = sum(
+                    float(s)
+                    for e in batches
+                    for s in dict(e.get("worker_seconds") or {}).values()
+                )
+                kinds = sorted(
+                    {str(e.get("kind", "?")) for e in batches}
+                )
+                lines.append(
+                    f"  pool dispatches={len(batches)} "
+                    f"kinds={','.join(kinds)} tasks={tasks} "
+                    f"traversals={traversals} "
+                    f"worker_seconds={seconds:.3f}"
+                )
+            if sweeps:
+                sources = sum(int(e.get("num_sources", 0)) for e in sweeps)
+                edges = sum(int(e.get("edges_scanned", 0)) for e in sweeps)
+                lines.append(
+                    f"  msbfs sweeps={len(sweeps)} sources={sources} "
+                    f"edges_scanned={edges}"
+                )
+            per_worker: Dict[int, int] = {}
+            for event in self.events:
+                if event.get("name") == TASK_SPAN:
+                    worker = event.get("worker")
+                    if isinstance(worker, int):
+                        per_worker[worker] = per_worker.get(worker, 0) + 1
+            if per_worker:
+                shares = " ".join(
+                    f"w{w}={per_worker[w]}" for w in sorted(per_worker)
+                )
+                lines.append(f"  worker tasks: {shares}")
         result = self.result
         if result:
             lines.append(

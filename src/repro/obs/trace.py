@@ -310,6 +310,63 @@ class Tracer:
         self._stack.append(span.seq)
         return span
 
+    def emit_foreign(
+        self,
+        events: List[Event],
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> List[int]:
+        """Re-emit events captured by *another* tracer into this sink.
+
+        The cross-process merge primitive: a pool worker buffers its
+        spans into a private :class:`MemorySink` with its own ``seq``
+        space; the parent replays them here, allocating fresh ``seq``
+        values and remapping each event's ``parent`` through the same
+        mapping so causal nesting survives the move.  Events that were
+        roots in the worker (``parent is None`` or a seq the worker
+        never shipped) are attached to ``parent`` — the enclosing
+        ``parallel.batch`` span.  ``attrs`` (e.g. ``worker=3``) are
+        stamped onto every re-emitted event.
+
+        Returns the new seqs, in emission order.
+        """
+        if not self.enabled:
+            return []
+        # Spans are emitted at *completion*, so a worker stream can
+        # reference a parent seq whose span event appears later (the
+        # enclosing span closes last).  Allocate the whole seq mapping
+        # up front — in old-seq (creation) order, preserving the
+        # children-outnumber-parents seq invariant — then replay the
+        # stream in its buffered order.
+        seq_map: Dict[int, int] = {
+            old: self._next_seq()
+            for old in sorted(
+                event["seq"]
+                for event in events
+                if isinstance(event.get("seq"), int)
+            )
+        }
+        new_seqs: List[int] = []
+        for event in events:
+            old_seq = event.get("seq")
+            new_seq = (
+                seq_map[old_seq]
+                if isinstance(old_seq, int)
+                else self._next_seq()
+            )
+            old_parent = event.get("parent")
+            payload: Event = dict(event)
+            payload["seq"] = new_seq
+            payload["parent"] = (
+                seq_map.get(old_parent, parent)
+                if old_parent is not None
+                else parent
+            )
+            payload.update(attrs)
+            self.sink.emit(payload)
+            new_seqs.append(new_seq)
+        return new_seqs
+
     def _finish_span(self, span: Span, failed: bool) -> None:
         if self._stack and self._stack[-1] == span.seq:
             self._stack.pop()

@@ -13,13 +13,27 @@ Batched entry points (:meth:`TraversalPool.eccentricities`,
 :meth:`~TraversalPool.distance_rows`, the MS-BFS lane-group variants)
 split their sources into contiguous chunks, write-target them into one
 shared *result* segment, and enqueue ``(kind, task_id, sources, out,
-start)`` tuples.  Workers fill their slice of the result segment
-directly — gathering is by construction ordered, the parent never
-reassembles out-of-order pickles — and reply with their
+start, width, traced)`` tuples.  Workers fill their slice of the
+result segment directly — gathering is by construction ordered, the
+parent never reassembles out-of-order pickles — and reply with their
 :class:`repro.counters.TraversalCounter` totals plus wall-clock
 seconds.  The parent merges the totals into the caller's counter and
 emits one ``parallel.batch`` obs span per dispatch carrying chunk
 sizes and per-worker timings.
+
+When the parent's tracer is live, ``traced`` rides along in every
+task: the worker runs it under a private buffering tracer (a
+``parallel.task`` span wrapping the traversal spans the kernels emit)
+and piggybacks the captured events plus its per-task metrics snapshot
+on the ``done`` reply.  The parent replays them in task order via
+:meth:`repro.obs.trace.Tracer.emit_foreign` — seqs remapped into its
+own sequence space, worker-side roots adopted by the owning
+``parallel.batch`` span, every event stamped with ``worker=`` — and
+folds the metric deltas in with
+:meth:`repro.obs.metrics.MetricsRegistry.merge_snapshot`.  A
+``workers=N`` run therefore produces one merged run record with
+correct causal nesting; only task→worker assignment (the ``worker=``
+tag) is scheduling-dependent.
 
 Results are bit-identical to the in-process numpy engine: workers run
 the very same :class:`BFSEngine` kernel on the very same frozen CSR
@@ -206,10 +220,13 @@ def _worker_main(
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, _sigterm_to_exit)
     # A forked worker inherits the parent's active tracer (and possibly
-    # its memory sink); traversal spans inside workers are aggregated
-    # into the parent's parallel.batch span instead.
+    # its memory sink); that inherited tracer is replaced outright.
+    # When the parent dispatches a traced batch, each task runs under a
+    # private buffering tracer instead, and its events/metrics ride
+    # back on the result channel for the parent to re-emit (see
+    # TraversalPool._emit_task_telemetry).
     from repro.graph.msbfs import lane_batch_distances
-    from repro.obs.trace import Tracer, set_tracer
+    from repro.obs.trace import MemorySink, Tracer, set_tracer
     from repro.sentinels import UNREACHED
 
     set_tracer(Tracer())
@@ -233,81 +250,118 @@ def _worker_main(
             task = task_queue.get()
             if task is None:
                 break
-            kind, task_id, sources, out_ref, start, width = task
+            kind, task_id, sources, out_ref, start, width, traced = task
             try:
                 watch = Stopwatch()
                 counter = TraversalCounter()
-                name, array_spec = out_ref
-                if name != out_name:
-                    if out_segment is not None:
-                        out_segment.close()
-                    out_segment = shm_mod._require_shared_memory().SharedMemory(
-                        name=name
+                # Traced dispatch: run the task under a private
+                # buffering tracer whose events (and metrics deltas)
+                # ship back with the result, so the parent can re-emit
+                # them under its parallel.batch span.  The disabled
+                # worker tracer is restored before replying.
+                task_sink = MemorySink() if traced else None
+                task_tracer = (
+                    Tracer(task_sink) if task_sink is not None else None
+                )
+                prev_tracer = (
+                    set_tracer(task_tracer)
+                    if task_tracer is not None
+                    else None
+                )
+                task_span = (
+                    task_tracer.span(
+                        "parallel.task",
+                        kind=kind,
+                        task=task_id,
+                        num_sources=int(len(sources)),
                     )
-                    out_name = name
-                out = shm_mod.attach_array(out_segment, array_spec)
-                if kind == "ecc":
-                    _fill_eccentricities(
-                        graph,
-                        engine,
-                        sources,
-                        out[start: start + len(sources)],
-                        counter,
-                        width,
-                    )
-                elif kind == "dist":
-                    _fill_distance_rows(
-                        graph,
-                        engine,
-                        sources,
-                        out[start: start + len(sources)],
-                        counter,
-                        width,
-                    )
-                elif kind == "msbfs_dist":
-                    out[start: start + len(sources)] = lane_batch_distances(
-                        graph, sources, counter=counter
-                    )
-                elif kind == "msbfs_ecc":
-                    dist = lane_batch_distances(
-                        graph, sources, counter=counter
-                    )
-                    np.max(
-                        np.where(dist >= 0, dist, -1),
-                        axis=1,
-                        out=out[start: start + len(sources)],
-                    )
-                elif kind == "dfwd":
-                    # reprolint: disable=R4 (one full vectorised BFS per step)
-                    for i in range(len(sources)):
-                        out[start + i, :] = forward_bfs(
-                            graph, int(sources[i]), counter=counter
-                        )
-                elif kind == "dbwd":
-                    # reprolint: disable=R4 (one full vectorised BFS per step)
-                    for i in range(len(sources)):
-                        out[start + i, :] = backward_bfs(
-                            graph, int(sources[i]), counter=counter
-                        )
-                elif kind == "decc":
-                    # Forward eccentricities; -1 flags an unreached
-                    # vertex so the parent can raise the directed
-                    # DisconnectedGraphError without shipping rows back.
-                    # reprolint: disable=R4 (one full vectorised BFS per step)
-                    for i in range(len(sources)):
-                        dist = forward_bfs(
-                            graph, int(sources[i]), counter=counter
-                        )
-                        if len(dist) > 1 and bool(
-                            np.any(dist == UNREACHED)
-                        ):
-                            out[start + i] = -1
-                        else:
-                            out[start + i] = (
-                                int(dist.max()) if len(dist) else 0
+                    if task_tracer is not None
+                    else None
+                )
+                try:
+                    name, array_spec = out_ref
+                    if name != out_name:
+                        if out_segment is not None:
+                            out_segment.close()
+                        out_segment = (
+                            shm_mod._require_shared_memory().SharedMemory(
+                                name=name
                             )
-                else:
-                    raise ParallelBackendError(f"unknown task kind {kind!r}")
+                        )
+                        out_name = name
+                    out = shm_mod.attach_array(out_segment, array_spec)
+                    if kind == "ecc":
+                        _fill_eccentricities(
+                            graph,
+                            engine,
+                            sources,
+                            out[start: start + len(sources)],
+                            counter,
+                            width,
+                        )
+                    elif kind == "dist":
+                        _fill_distance_rows(
+                            graph,
+                            engine,
+                            sources,
+                            out[start: start + len(sources)],
+                            counter,
+                            width,
+                        )
+                    elif kind == "msbfs_dist":
+                        out[start: start + len(sources)] = (
+                            lane_batch_distances(
+                                graph, sources, counter=counter
+                            )
+                        )
+                    elif kind == "msbfs_ecc":
+                        dist = lane_batch_distances(
+                            graph, sources, counter=counter
+                        )
+                        np.max(
+                            np.where(dist >= 0, dist, -1),
+                            axis=1,
+                            out=out[start: start + len(sources)],
+                        )
+                    elif kind == "dfwd":
+                        # reprolint: disable=R4 (one full vectorised BFS per step)
+                        for i in range(len(sources)):
+                            out[start + i, :] = forward_bfs(
+                                graph, int(sources[i]), counter=counter
+                            )
+                    elif kind == "dbwd":
+                        # reprolint: disable=R4 (one full vectorised BFS per step)
+                        for i in range(len(sources)):
+                            out[start + i, :] = backward_bfs(
+                                graph, int(sources[i]), counter=counter
+                            )
+                    elif kind == "decc":
+                        # Forward eccentricities; -1 flags an unreached
+                        # vertex so the parent can raise the directed
+                        # DisconnectedGraphError without shipping rows
+                        # back.
+                        # reprolint: disable=R4 (one full vectorised BFS per step)
+                        for i in range(len(sources)):
+                            dist = forward_bfs(
+                                graph, int(sources[i]), counter=counter
+                            )
+                            if len(dist) > 1 and bool(
+                                np.any(dist == UNREACHED)
+                            ):
+                                out[start + i] = -1
+                            else:
+                                out[start + i] = (
+                                    int(dist.max()) if len(dist) else 0
+                                )
+                    else:
+                        raise ParallelBackendError(
+                            f"unknown task kind {kind!r}"
+                        )
+                finally:
+                    if task_span is not None:
+                        task_span.finish()
+                    if prev_tracer is not None:
+                        set_tracer(prev_tracer)
                 result_queue.put(
                     (
                         "done",
@@ -315,6 +369,12 @@ def _worker_main(
                         worker_id,
                         _counter_totals(counter),
                         watch.elapsed(),
+                        task_sink.events if task_sink is not None else None,
+                        (
+                            task_tracer.metrics.snapshot()
+                            if task_tracer is not None
+                            else None
+                        ),
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - reported to parent
@@ -587,8 +647,17 @@ class TraversalPool:
 
     def _gather(
         self, num_tasks: int
-    ) -> Tuple[TraversalCounter, Dict[str, float]]:
+    ) -> Tuple[
+        TraversalCounter,
+        Dict[str, float],
+        Dict[int, Tuple[int, Any, Any]],
+    ]:
         """Collect ``num_tasks`` worker replies; merge counters/timings.
+
+        Returns ``(merged_counter, worker_seconds, telemetry)`` where
+        ``telemetry`` maps ``task_id -> (worker_id, events, metrics)``
+        for traced dispatches (``events``/``metrics`` are ``None`` when
+        the task ran untraced).
 
         Raises :class:`ParallelBackendError` carrying every worker-side
         traceback if any task failed (after draining all replies, so the
@@ -596,25 +665,55 @@ class TraversalPool:
         """
         failures: List[str] = []
         worker_seconds: Dict[str, float] = {}
+        telemetry: Dict[int, Tuple[int, Any, Any]] = {}
         merged = TraversalCounter()
         for _ in range(num_tasks):
             message = self._next_message(timeout=3600.0)
             if message[0] == "error":
                 failures.append(f"worker {message[2]}: {message[3]}")
             elif message[0] == "done":
-                _tag, _task, worker_id, totals, seconds = message
+                _tag, task_id, worker_id, totals, seconds, events, deltas = (
+                    message
+                )
                 merged.merge(TraversalCounter(**totals))
                 key = f"w{worker_id}"
                 worker_seconds[key] = (
                     worker_seconds.get(key, 0.0) + seconds
                 )
+                telemetry[int(task_id)] = (int(worker_id), events, deltas)
             else:  # pragma: no cover - defensive
                 failures.append(f"unexpected message {message[0]!r}")
         if failures:
             raise ParallelBackendError(
                 "parallel dispatch failed:\n" + "\n".join(failures)
             )
-        return merged, worker_seconds
+        return merged, worker_seconds, telemetry
+
+    @staticmethod
+    def _emit_task_telemetry(
+        span: Any, telemetry: Dict[int, Tuple[int, Any, Any]]
+    ) -> None:
+        """Re-emit worker-buffered spans/metrics under the batch span.
+
+        Tasks replay in ``task_id`` order — the one deterministic order
+        a dispatch has (which *worker* served a task is scheduling
+        noise, recorded as the ``worker=`` attribute on every
+        re-emitted event).  ``parent`` seqs are remapped into the
+        parent tracer's seq space by :meth:`Tracer.emit_foreign`, with
+        the owning ``parallel.batch`` span adopting the worker-side
+        roots; metric deltas fold into the parent registry.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        for task_id in sorted(telemetry):
+            worker_id, events, deltas = telemetry[task_id]
+            if events:
+                tracer.emit_foreign(
+                    events, parent=span.seq, worker=worker_id
+                )
+            if deltas:
+                tracer.metrics.merge_snapshot(deltas)
 
     def _dispatch(
         self,
@@ -651,6 +750,7 @@ class TraversalPool:
         chunk = starts[1] if len(starts) > 1 else len(src)
         task_queue = self._resources.task_queue
         assert task_queue is not None
+        traced = get_tracer().enabled
         with get_tracer().span(
             "parallel.batch",
             kind=kind,
@@ -668,13 +768,15 @@ class TraversalPool:
                         out_ref,
                         start,
                         width,
+                        traced,
                     )
                 )
-            merged, worker_seconds = self._gather(len(starts))
+            merged, worker_seconds, telemetry = self._gather(len(starts))
             if counter is not None:
                 counter.merge(merged)
             view = shm_mod.attach_array(segment, out_spec)
             result[...] = view
+            self._emit_task_telemetry(span, telemetry)
             span.set(
                 tasks=len(starts),
                 traversals=merged.bfs_runs,
@@ -857,6 +959,7 @@ class TraversalPool:
         out_ref = (segment.name, out_spec)
         task_queue = self._resources.task_queue
         assert task_queue is not None
+        traced = get_tracer().enabled
         with get_tracer().span(
             "parallel.batch",
             kind="dprobe",
@@ -865,12 +968,13 @@ class TraversalPool:
             num_sources=2,
             chunks=[1, 1],
         ) as span:
-            task_queue.put(("dfwd", 0, src, out_ref, 0, 0))
-            task_queue.put(("dbwd", 1, src, out_ref, 1, 0))
-            merged, worker_seconds = self._gather(2)
+            task_queue.put(("dfwd", 0, src, out_ref, 0, 0, traced))
+            task_queue.put(("dbwd", 1, src, out_ref, 1, 0, traced))
+            merged, worker_seconds, telemetry = self._gather(2)
             if counter is not None:
                 counter.merge(merged)
             result[...] = shm_mod.attach_array(segment, out_spec)
+            self._emit_task_telemetry(span, telemetry)
             span.set(
                 tasks=2,
                 traversals=merged.bfs_runs,

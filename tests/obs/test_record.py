@@ -102,6 +102,34 @@ class TestRoundTrip:
         assert loaded.counters == {}
         assert len(loaded.events) == len(record.events)
 
+    def test_torn_final_line_dropped(self, traced_run, tmp_path):
+        """A crash mid-write leaves a truncated last line; the prefix
+        must stay readable with that fragment dropped."""
+        _, record = traced_run
+        path = tmp_path / "run.jsonl"
+        record.write_jsonl(str(path))
+        lines = path.read_text().strip().split("\n")
+        # Drop the footer, then tear the last event line in half.
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(
+            "\n".join(lines[:-2]) + "\n" + lines[-2][: len(lines[-2]) // 2]
+        )
+        loaded = RunRecord.read_jsonl(str(torn))
+        assert loaded.result == {}
+        assert loaded.counters == {}
+        assert len(loaded.events) == len(record.events) - 1
+
+    def test_corruption_before_final_line_raises(self, traced_run, tmp_path):
+        _, record = traced_run
+        path = tmp_path / "run.jsonl"
+        record.write_jsonl(str(path))
+        lines = path.read_text().strip().split("\n")
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear a middle line
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            RunRecord.read_jsonl(str(bad))
+
     def test_rejects_missing_header(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "footer", "result": {}}\n')

@@ -344,3 +344,84 @@ class TestBackendFlags:
     def test_bad_backend_rejected(self, example_file):
         with pytest.raises(SystemExit):
             main(["ecc", example_file, "--backend", "cuda"])
+
+
+class TestProgress:
+    def test_ecc_progress_renders_on_stderr(self, example_file, capsys):
+        assert main(["ecc", example_file, "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "radius=3 diameter=5" in captured.out
+        assert "[progress]" in captured.err
+        assert "done" in captured.err
+        assert captured.err.endswith("\n")
+
+    def test_progress_composes_with_trace(
+        self, example_file, tmp_path, capsys
+    ):
+        from repro.obs.record import RunRecord
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["ecc", example_file, "--progress", "--trace", str(trace_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "[progress]" in captured.err
+        record = RunRecord.read_jsonl(str(trace_path))
+        assert record.probe_events()
+
+    def test_approx_and_diameter_accept_progress(
+        self, example_file, capsys
+    ):
+        assert main(["approx", example_file, "-k", "4", "--progress"]) == 0
+        assert "[progress]" in capsys.readouterr().err
+        assert main(["diameter", example_file, "--progress"]) == 0
+        assert "[progress]" in capsys.readouterr().err
+
+
+class TestBench:
+    """CLI surface of the regression gate (semantics in tests/tools)."""
+
+    def _artifact(self, tmp_path, name, ecc_speedup):
+        import json
+
+        doc = {
+            "schema": "bench_msbfs_engine/v1",
+            "mode": "smoke",
+            "target_speedup": 2.0,
+            "rows_target_speedup": 1.5,
+            "bit_identical": True,
+            "graphs": [
+                {
+                    "name": "powerlaw-4k",
+                    "speedup_ecc_vs_loop": ecc_speedup,
+                    "speedup_rows_vs_loop": ecc_speedup,
+                }
+            ],
+            "aggregate": {"powerlaw_speedup_ecc_vs_loop": ecc_speedup},
+        }
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_bench_check_passes_good_artifact(self, tmp_path, capsys):
+        path = self._artifact(tmp_path, "BENCH_msbfs_engine.json", 3.0)
+        assert main(["bench", "check", path]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_bench_check_fails_missed_target(self, tmp_path, capsys):
+        path = self._artifact(tmp_path, "BENCH_msbfs_engine.json", 1.1)
+        assert main(["bench", "check", path]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_compare_gates_regression(self, tmp_path, capsys):
+        fresh = self._artifact(tmp_path, "fresh.json", 1.0)
+        base = self._artifact(tmp_path, "base.json", 3.0)
+        assert main(["bench", "compare", fresh, base]) == 1
+        capsys.readouterr()
+        assert main(
+            ["bench", "compare", fresh, base, "--tolerance", "0.8"]
+        ) == 0
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bench"])

@@ -1,0 +1,38 @@
+"""Checkout shim for the benchmark regression gate.
+
+The implementation lives in :mod:`repro.obs.benchguard` (so ``repro
+bench check`` and this tool share one gate); this package exists so
+``python tools/benchguard check`` works from a repository checkout
+without installing anything or exporting ``PYTHONPATH``.  Keep it free
+of logic beyond the path splice and the re-exports.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.benchguard import (  # noqa: E402 - after the path splice
+    Finding,
+    Headline,
+    check_paths,
+    compare_docs,
+    default_artifacts,
+    format_findings,
+    main,
+)
+
+__all__ = [
+    "Finding",
+    "Headline",
+    "check_paths",
+    "compare_docs",
+    "default_artifacts",
+    "format_findings",
+    "main",
+]

@@ -1,0 +1,21 @@
+"""Entry point for ``python tools/benchguard`` (and ``-m`` variants).
+
+Splices the checkout's ``src/`` onto ``sys.path`` so the shared gate
+implementation in :mod:`repro.obs.benchguard` resolves without an
+installed package.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.benchguard import main  # noqa: E402 - after the path splice
+
+if __name__ == "__main__":
+    sys.exit(main())

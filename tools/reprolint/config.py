@@ -194,6 +194,9 @@ SHARED_STATE = {
     "src/repro/obs/trace.py": {
         "_ACTIVE": ("get_tracer", "set_tracer", "tracing"),
     },
+    "src/repro/obs/benchguard.py": {
+        "SCHEMAS": ("extractor_for", "known_schemas"),
+    },
     "src/repro/sanitize.py": {
         "_ENABLED": ("enabled", "enable", "disable", "sanitized"),
     },
